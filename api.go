@@ -1,0 +1,134 @@
+package bayestree
+
+import (
+	"fmt"
+
+	"bayestree/internal/bulkload"
+	"bayestree/internal/core"
+	"bayestree/internal/dataset"
+	"bayestree/internal/eval"
+	"bayestree/internal/stream"
+)
+
+// Re-exported core types: see the internal/core package for full
+// documentation of each.
+type (
+	// Config holds the Bayes tree structural parameters (fanout and leaf
+	// capacities, kernel, reinsertion policy).
+	Config = core.Config
+	// Tree is a Bayes tree over one class population.
+	Tree = core.Tree
+	// Classifier is the per-class-forest anytime classifier with the qbk
+	// refinement strategy.
+	Classifier = core.Classifier
+	// ClassifierOptions select descent strategy, priority measure and the
+	// qbk parameter k.
+	ClassifierOptions = core.ClassifierOptions
+	// Query is an in-progress anytime classification.
+	Query = core.Query
+	// Cursor is an in-progress anytime density query on a single tree.
+	Cursor = core.Cursor
+	// Strategy is the tree descent order (global best, breadth- or
+	// depth-first).
+	Strategy = core.Strategy
+	// Priority is the global-descent ordering measure.
+	Priority = core.Priority
+	// MultiTree is the single-tree multi-class variant of Section 4.1.
+	MultiTree = core.MultiTree
+	// MultiOptions configure the multi-class tree.
+	MultiOptions = core.MultiOptions
+	// Dataset is a labelled vector data set.
+	Dataset = dataset.Dataset
+	// CSVOptions control CSV parsing.
+	CSVOptions = dataset.CSVOptions
+	// SyntheticSpec parameterises synthetic data generation.
+	SyntheticSpec = dataset.SyntheticSpec
+	// Curve is an anytime accuracy curve.
+	Curve = eval.Curve
+	// CurveOptions parameterise anytime accuracy measurement.
+	CurveOptions = eval.CurveOptions
+	// StreamItem is one stream element for the online runner.
+	StreamItem = stream.Item
+	// StreamResult summarises a stream run.
+	StreamResult = stream.Result
+	// Budgeter converts available time into node budgets.
+	Budgeter = stream.Budgeter
+)
+
+// Descent strategies and priorities (Section 2.2).
+const (
+	DescentGlobal         = core.DescentGlobal
+	DescentBFT            = core.DescentBFT
+	DescentDFT            = core.DescentDFT
+	PriorityProbabilistic = core.PriorityProbabilistic
+	PriorityGeometric     = core.PriorityGeometric
+)
+
+// DefaultConfig returns the default tree parameters for the given
+// dimensionality (an emulated 2 KiB page).
+func DefaultConfig(dim int) Config { return core.DefaultConfig(dim) }
+
+// LoadCSV reads a labelled CSV data set from disk.
+func LoadCSV(path string, opts CSVOptions) (*Dataset, error) {
+	return dataset.LoadCSV(path, opts)
+}
+
+// Synthetic generates a seeded synthetic data set.
+func Synthetic(spec SyntheticSpec) (*Dataset, error) { return dataset.Synthetic(spec) }
+
+// TrainOptions configure Train.
+type TrainOptions struct {
+	// Loader names the bulk-loading strategy: "emtopdown" (default, the
+	// paper's best), "hilbert", "zcurve", "str", "goldberger", "vsample"
+	// or "iterative".
+	Loader string
+	// Config overrides the tree parameters; nil means DefaultConfig.
+	Config *Config
+	// Classifier sets descent and qbk options (zero value = the paper's
+	// best: global best-first descent, probabilistic priority, k = 2).
+	Classifier ClassifierOptions
+}
+
+// Train bulk loads one Bayes tree per class of the data set and returns
+// the anytime classifier.
+func Train(ds *Dataset, opts TrainOptions) (*Classifier, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("bayestree: nil dataset")
+	}
+	name := opts.Loader
+	if name == "" {
+		name = "emtopdown"
+	}
+	loader, ok := bulkload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bayestree: unknown loader %q (have %v)", name, bulkload.Names())
+	}
+	cfgFn := core.DefaultConfig
+	if opts.Config != nil {
+		cfg := *opts.Config
+		cfgFn = func(int) core.Config { return cfg }
+	}
+	return eval.TrainForest(ds, loader, cfgFn, opts.Classifier)
+}
+
+// AnytimeCurve measures the anytime accuracy of a bulk-loading strategy on
+// a data set with k-fold cross validation — the paper's evaluation
+// protocol.
+func AnytimeCurve(ds *Dataset, loaderName string, opts CurveOptions) (*Curve, error) {
+	loader, ok := bulkload.ByName(loaderName)
+	if !ok {
+		return nil, fmt.Errorf("bayestree: unknown loader %q (have %v)", loaderName, bulkload.Names())
+	}
+	return eval.AnytimeCurve(ds, loader, opts)
+}
+
+// RunStream feeds items through the classifier under an arrival process
+// with the given mean rate (objects/second, Poisson gaps), classifying
+// each with the node budget the gap allows and learning labelled items
+// online.
+func RunStream(clf *Classifier, items []StreamItem, rate float64, budgeter Budgeter, seed int64) (*StreamResult, error) {
+	return stream.Run(clf, items, stream.Poisson{Rate: rate}, budgeter, seed)
+}
+
+// LoaderNames lists the available bulk-loading strategies.
+func LoaderNames() []string { return bulkload.Names() }

@@ -1,0 +1,138 @@
+package bayestree
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func demoDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Synthetic(SyntheticSpec{
+		Name: "facade", Size: 800, Classes: 3, Features: 5,
+		ModesPerClass: 3, Spread: 0.08, Overlap: 0.3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	ds := demoDataset(t)
+	for _, loader := range LoaderNames() {
+		clf, err := Train(ds, TrainOptions{Loader: loader})
+		if err != nil {
+			t.Fatalf("%s: %v", loader, err)
+		}
+		correct := 0
+		for i := 0; i < 200; i++ {
+			if clf.Classify(ds.X[i], 25) == ds.Y[i] {
+				correct++
+			}
+		}
+		if correct < 140 {
+			t.Errorf("%s: training accuracy %d/200 too low", loader, correct)
+		}
+	}
+}
+
+func TestTrainDefaultsAndErrors(t *testing.T) {
+	ds := demoDataset(t)
+	if _, err := Train(ds, TrainOptions{}); err != nil {
+		t.Errorf("default train failed: %v", err)
+	}
+	if _, err := Train(nil, TrainOptions{}); err == nil {
+		t.Errorf("nil dataset accepted")
+	}
+	if _, err := Train(ds, TrainOptions{Loader: "quantum"}); err == nil {
+		t.Errorf("unknown loader accepted")
+	}
+	cfg := DefaultConfig(ds.Dim())
+	cfg.MaxLeaf = 32
+	cfg.MinLeaf = 4
+	if _, err := Train(ds, TrainOptions{Config: &cfg}); err != nil {
+		t.Errorf("custom config failed: %v", err)
+	}
+}
+
+func TestFacadeAnytimeCurve(t *testing.T) {
+	ds := demoDataset(t)
+	c, err := AnytimeCurve(ds, "hilbert", CurveOptions{Folds: 2, MaxNodes: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Acc) != 16 {
+		t.Fatalf("curve length %d", len(c.Acc))
+	}
+	if _, err := AnytimeCurve(ds, "quantum", CurveOptions{}); err == nil {
+		t.Errorf("unknown loader accepted")
+	}
+}
+
+func TestFacadeStream(t *testing.T) {
+	ds := demoDataset(t)
+	clf, err := Train(ds, TrainOptions{Loader: "hilbert"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]StreamItem, 100)
+	for i := range items {
+		items[i] = StreamItem{X: ds.X[i], Label: ds.Y[i], Labeled: true}
+	}
+	res, err := RunStream(clf, items, 100, Budgeter{NodesPerSecond: 1000, MaxNodes: 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != 100 || res.Learned != 100 {
+		t.Fatalf("stream result %+v", res)
+	}
+}
+
+func TestFacadeCSV(t *testing.T) {
+	ds := demoDataset(t)
+	path := filepath.Join(t.TempDir(), "f.csv")
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path, CSVOptions{LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip lost rows")
+	}
+}
+
+func TestLoaderNamesStable(t *testing.T) {
+	names := LoaderNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d loaders", len(names))
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"emtopdown", "hilbert", "goldberger", "iterative"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("loader %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestInterruptibleQueryAPI(t *testing.T) {
+	ds := demoDataset(t)
+	clf, err := Train(ds, TrainOptions{Loader: "emtopdown"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := clf.NewQuery(ds.X[0])
+	preds := []int{q.Predict()}
+	for i := 0; i < 10 && q.Step(); i++ {
+		preds = append(preds, q.Predict())
+	}
+	if len(preds) != 11 {
+		t.Fatalf("query stopped early: %d predictions", len(preds))
+	}
+	post := q.Posteriors()
+	if len(post) != 3 {
+		t.Fatalf("posteriors over %d classes", len(post))
+	}
+}

@@ -1,0 +1,160 @@
+// Command bulkload compares the bulk-loading strategies structurally:
+// build time, tree shape (height, node count, fanout, occupancy) and
+// invariant validation, per class of a data set. Use -dump to print the
+// level structure of one class tree — the textual analogue of Figure 1c.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"bayestree/internal/bulkload"
+	"bayestree/internal/core"
+	"bayestree/internal/dataset"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "pendigits", "data set (pendigits|letter|gender|covertype)")
+		scale   = flag.Float64("scale", 0.2, "data set scale in (0,1]")
+		loaders = flag.String("loaders", strings.Join(bulkload.Names(), ","), "comma-separated loaders")
+		dump    = flag.Bool("dump", false, "print the level structure of the first class tree")
+		seed    = flag.Int64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	ds, err := dataset.ByName(*dsName, *scale)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ds.Shuffle(*seed)
+	byClass := ds.ByClass()
+	labels := ds.Classes()
+	cfg := core.DefaultConfig(ds.Dim())
+	fmt.Printf("dataset %s: %d observations, %d classes, %d features\n", ds.Name, ds.Len(), len(labels), ds.Dim())
+	fmt.Printf("tree config: fanout [%d,%d], leaf [%d,%d]\n\n", cfg.MinFanout, cfg.MaxFanout, cfg.MinLeaf, cfg.MaxLeaf)
+	fmt.Printf("%-12s %10s %8s %8s %8s %9s %9s %8s\n",
+		"loader", "build", "height", "nodes", "leaves", "fanout", "leafocc", "valid")
+
+	for _, name := range strings.Split(*loaders, ",") {
+		name = strings.TrimSpace(name)
+		loader, ok := bulkload.ByName(name)
+		if !ok {
+			fatalf("unknown loader %q (have %v)", name, bulkload.Names())
+		}
+		start := time.Now()
+		var trees []*core.Tree
+		for _, y := range labels {
+			t, err := loader.Build(byClass[y], cfg)
+			if err != nil {
+				fatalf("%s class %d: %v", name, y, err)
+			}
+			trees = append(trees, t)
+		}
+		elapsed := time.Since(start)
+		agg := aggregateStats(trees)
+		valid := "ok"
+		for i, t := range trees {
+			if err := t.Validate(); err != nil {
+				valid = fmt.Sprintf("class %d: %v", labels[i], err)
+				break
+			}
+		}
+		fmt.Printf("%-12s %10s %8.1f %8d %8d %9.2f %9.2f %8s\n",
+			name, elapsed.Round(time.Millisecond), agg.avgHeight, agg.nodes, agg.leaves,
+			agg.avgFanout, agg.avgLeafOcc, valid)
+		if *dump && name == strings.TrimSpace(strings.Split(*loaders, ",")[0]) {
+			dumpTree(trees[0], labels[0])
+		}
+	}
+}
+
+type agg struct {
+	avgHeight             float64
+	nodes, leaves         int
+	avgFanout, avgLeafOcc float64
+}
+
+func aggregateStats(trees []*core.Tree) agg {
+	var a agg
+	var fanoutSum, occSum float64
+	var fanoutN, occN int
+	for _, t := range trees {
+		s := t.Stats()
+		a.avgHeight += float64(s.Height)
+		a.nodes += s.Nodes
+		a.leaves += s.Leaves
+		if s.InnerNodes > 0 {
+			fanoutSum += s.AvgFanout * float64(s.InnerNodes)
+			fanoutN += s.InnerNodes
+		}
+		occSum += s.AvgLeafOcc * float64(s.Leaves)
+		occN += s.Leaves
+	}
+	a.avgHeight /= float64(len(trees))
+	if fanoutN > 0 {
+		a.avgFanout = fanoutSum / float64(fanoutN)
+	}
+	if occN > 0 {
+		a.avgLeafOcc = occSum / float64(occN)
+	}
+	return a
+}
+
+// dumpTree prints node counts per depth and a sample of entry summaries.
+func dumpTree(t *core.Tree, label int) {
+	fmt.Printf("\nclass %d tree (%d observations):\n", label, t.Len())
+	type lvl struct {
+		nodes, entries, points int
+	}
+	levels := map[int]*lvl{}
+	var walk func(n *core.Node, d int)
+	walk = func(n *core.Node, d int) {
+		l := levels[d]
+		if l == nil {
+			l = &lvl{}
+			levels[d] = l
+		}
+		l.nodes++
+		if n.IsLeaf() {
+			l.points += len(n.Points())
+			return
+		}
+		l.entries += len(n.Entries())
+		for _, e := range n.Entries() {
+			walk(e.Child, d+1)
+		}
+	}
+	walk(t.Root(), 0)
+	depths := make([]int, 0, len(levels))
+	for d := range levels {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		l := levels[d]
+		fmt.Printf("  depth %d: %d nodes, %d entries, %d observations\n", d, l.nodes, l.entries, l.points)
+	}
+	if e, ok := t.RootEntry(); ok {
+		g := e.Gaussian()
+		fmt.Printf("  root model: n=%.0f mean[0]=%.3f var[0]=%.4f mbr=%s...\n",
+			e.CF.N, g.Mean[0], g.Var[0], e.Rect.String()[:min(40, len(e.Rect.String()))])
+	}
+	fmt.Println()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bulkload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Package bayestree is a Go implementation of index-based anytime stream
+// mining as published in "Using Index Structures for Anytime Stream
+// Mining" (Kranen, VLDB 2009) and the underlying Bayes tree (Seidl et al.,
+// EDBT 2009).
+//
+// The Bayes tree is a balanced R*-tree-like index whose entries carry
+// cluster features (n, LS, SS), so every tree level — and every mixed
+// frontier of entries — is a complete Gaussian mixture model of the data.
+// An anytime Bayesian classifier descends one tree per class, refining the
+// mixture one node read at a time, and can return the current best
+// prediction at any interruption point. Bulk-loading strategies
+// (EM top-down, Hilbert/Z-curve/STR packing, Goldberger and
+// virtual-sampling mixture reduction) shape the hierarchy for better
+// anytime accuracy than iterative insertion.
+//
+// This package is the public facade: it re-exports the core types and
+// provides one-call training. The implementation lives in internal/
+// packages (core, bulkload, dataset, eval, stream, clustree, and the
+// substrates em, mixture, stats, kernels, mbr, rstar, sfc, vec).
+//
+// Quick start:
+//
+//	ds, _ := bayestree.LoadCSV("train.csv", bayestree.CSVOptions{LabelColumn: -1})
+//	clf, _ := bayestree.Train(ds, bayestree.TrainOptions{Loader: "emtopdown"})
+//	label := clf.Classify(x, 25) // classify x with a budget of 25 node reads
+//
+// See the examples/ directory for runnable programs and EXPERIMENTS.md for
+// the reproduction of the paper's evaluation.
+package bayestree

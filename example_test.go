@@ -1,0 +1,82 @@
+package bayestree_test
+
+import (
+	"fmt"
+	"log"
+
+	"bayestree"
+)
+
+// Train a classifier and classify one object under increasing anytime
+// budgets: with more node reads the posterior sharpens.
+func Example() {
+	ds, err := bayestree.Synthetic(bayestree.SyntheticSpec{
+		Name: "example", Size: 2000, Classes: 2, Features: 4,
+		ModesPerClass: 3, Spread: 0.07, Overlap: 0.2, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := bayestree.Train(ds, bayestree.TrainOptions{Loader: "emtopdown"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := ds.X[10]
+	fmt.Println("true label:", ds.Y[10])
+	fmt.Println("budget 0:  ", clf.Classify(x, 0))
+	fmt.Println("budget 50: ", clf.Classify(x, 50))
+	fmt.Println("full model:", clf.Classify(x, -1))
+	// Output:
+	// true label: 1
+	// budget 0:   1
+	// budget 50:  1
+	// full model: 1
+}
+
+// The interruptible query API: refine until an external deadline and read
+// off the current best prediction — the anytime contract.
+func ExampleClassifier_NewQuery() {
+	ds, err := bayestree.Synthetic(bayestree.SyntheticSpec{
+		Name: "q", Size: 1000, Classes: 2, Features: 3,
+		ModesPerClass: 2, Spread: 0.06, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := bayestree.Train(ds, bayestree.TrainOptions{Loader: "hilbert"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := clf.NewQuery(ds.X[0])
+	for q.NodesRead() < 8 && q.Step() {
+		// ... until the stream interrupts us.
+	}
+	fmt.Println("nodes read:", q.NodesRead())
+	fmt.Println("prediction:", q.Predict() == ds.Y[0])
+	// Output:
+	// nodes read: 8
+	// prediction: true
+}
+
+// Online learning: the classifier absorbs labelled stream objects and its
+// priors shift accordingly.
+func ExampleClassifier_Learn() {
+	ds, err := bayestree.Synthetic(bayestree.SyntheticSpec{
+		Name: "learn", Size: 600, Classes: 2, Features: 3,
+		ModesPerClass: 2, Spread: 0.06, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := bayestree.Train(ds, bayestree.TrainOptions{Loader: "iterative"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := clf.Tree(0).Len()
+	if err := clf.Learn(ds.X[0], 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tree grew by:", clf.Tree(0).Len()-before)
+	// Output:
+	// tree grew by: 1
+}

@@ -1,0 +1,74 @@
+// Quickstart: train an anytime Bayes tree classifier and classify under
+// different node budgets — the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bayestree"
+)
+
+func main() {
+	// A small synthetic 3-class problem (seeded, so runs are identical).
+	ds, err := bayestree.Synthetic(bayestree.SyntheticSpec{
+		Name: "demo", Size: 3000, Classes: 3, Features: 8,
+		ModesPerClass: 4, Spread: 0.09, Overlap: 0.35, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hold out the last 500 objects for testing.
+	trainIdx := make([]int, 2500)
+	testIdx := make([]int, 500)
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	for i := range testIdx {
+		testIdx[i] = 2500 + i
+	}
+	train := ds.Subset(trainIdx, "train")
+	test := ds.Subset(testIdx, "test")
+
+	// Train with the paper's best bulk-loading strategy (EM top-down).
+	clf, err := bayestree.Train(train, bayestree.TrainOptions{Loader: "emtopdown"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The anytime property: the same classifier answers under any budget,
+	// and more time (node reads) buys more accuracy.
+	for _, budget := range []int{0, 2, 5, 10, 25, 50, -1} {
+		correct := 0
+		for i := range test.X {
+			if clf.Classify(test.X[i], budget) == test.Y[i] {
+				correct++
+			}
+		}
+		name := fmt.Sprintf("%5d nodes", budget)
+		if budget < 0 {
+			name = " full model"
+		}
+		fmt.Printf("budget %s → accuracy %.3f\n", name, float64(correct)/float64(len(test.X)))
+	}
+
+	// Interruptible, step-by-step use of a single query.
+	q := clf.NewQuery(test.X[0])
+	fmt.Printf("\nanytime refinement of one object (true label %d):\n", test.Y[0])
+	for step := 0; step <= 20; step += 5 {
+		fmt.Printf("  after %2d nodes: prediction %d, posteriors %v\n",
+			q.NodesRead(), q.Predict(), roundAll(q.Posteriors()))
+		for i := 0; i < 5; i++ {
+			q.Step()
+		}
+	}
+}
+
+func roundAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(int(v*1000)) / 1000
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package bulkload implements the bulk-loading strategies of Section 3 of
+// the paper, all producing Bayes trees over one training population:
+//
+//   - Iterative — the baseline ("Iterativ" in the figures): R*-style
+//     incremental insertion, one observation at a time, as in [16].
+//   - Hilbert, ZCurve — traditional R-tree bottom-up packing in
+//     space-filling-curve order.
+//   - STR — sort-tile-recursive packing [14].
+//   - Goldberger — statistical bottom-up construction that reduces the
+//     mixture of one level to the next coarser level by regroup/refit
+//     under the KL-based mixture distance [10].
+//   - VirtualSampling — the alternative statistical reduction of [21],
+//     which the paper also adapted (and found weaker).
+//   - EMTopDown — recursive top-down EM clustering of the observations,
+//     the strategy the paper found best throughout.
+package bulkload
+
+import (
+	"fmt"
+	"sort"
+
+	"bayestree/internal/core"
+)
+
+// Loader builds a Bayes tree from a training population.
+type Loader interface {
+	// Name identifies the strategy in reports and flags ("emtopdown",
+	// "hilbert", "zcurve", "str", "goldberger", "vsample", "iterative").
+	Name() string
+	// Build constructs a tree over the observations with the given
+	// structural configuration.
+	Build(points [][]float64, cfg core.Config) (*core.Tree, error)
+}
+
+// ByName returns the loader registered under name, using default options.
+func ByName(name string) (Loader, bool) {
+	switch name {
+	case "iterative", "iterativ":
+		return Iterative{}, true
+	case "hilbert":
+		return Hilbert{}, true
+	case "zcurve", "z":
+		return ZCurve{}, true
+	case "str":
+		return STR{}, true
+	case "goldberger":
+		return Goldberger{}, true
+	case "vsample", "virtualsampling":
+		return VirtualSampling{}, true
+	case "emtopdown", "em":
+		return EMTopDown{}, true
+	}
+	return nil, false
+}
+
+// Names lists the registered loader names in canonical report order.
+func Names() []string {
+	return []string{"emtopdown", "hilbert", "goldberger", "iterative", "zcurve", "str", "vsample"}
+}
+
+// All returns one default-configured loader per strategy, in Names order.
+func All() []Loader {
+	names := Names()
+	out := make([]Loader, 0, len(names))
+	for _, n := range names {
+		l, _ := ByName(n)
+		out = append(out, l)
+	}
+	return out
+}
+
+// Iterative is the paper's baseline: build by repeated incremental
+// insertion (Section 2.2 / [16]).
+type Iterative struct{}
+
+// Name implements Loader.
+func (Iterative) Name() string { return "iterative" }
+
+// Build implements Loader.
+func (Iterative) Build(points [][]float64, cfg core.Config) (*core.Tree, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("bulkload: no observations")
+	}
+	t, err := core.NewTree(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		if err := t.Insert(p); err != nil {
+			return nil, fmt.Errorf("bulkload: inserting observation %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// validatePoints performs the shared input checks.
+func validatePoints(points [][]float64, cfg core.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		return fmt.Errorf("bulkload: no observations")
+	}
+	for i, p := range points {
+		if len(p) != cfg.Dim {
+			return fmt.Errorf("bulkload: observation %d has dim %d, want %d", i, len(p), cfg.Dim)
+		}
+	}
+	return nil
+}
+
+// chunkSizes splits n items into groups within [minSize, maxSize], as
+// evenly as possible, preferring the target fill. It returns nil when n
+// cannot be split legally (n < minSize yields a single undersized group,
+// which callers may accept for roots).
+func chunkSizes(n, minSize, maxSize, target int) []int {
+	if target > maxSize {
+		target = maxSize
+	}
+	if target < minSize {
+		target = minSize
+	}
+	if n <= maxSize {
+		return []int{n}
+	}
+	groups := (n + target - 1) / target
+	for {
+		base := n / groups
+		if base >= minSize {
+			break
+		}
+		groups--
+		if groups <= 1 {
+			groups = 1
+			break
+		}
+	}
+	sizes := make([]int, groups)
+	base := n / groups
+	rem := n % groups
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	// A group may exceed maxSize when min-fill forced few groups; rebalance
+	// by adding groups while all stay ≥ minSize.
+	for sizes[0] > maxSize {
+		groups++
+		base = n / groups
+		if base < minSize {
+			break // accept oversize; caller splits further
+		}
+		rem = n % groups
+		sizes = make([]int, groups)
+		for i := range sizes {
+			sizes[i] = base
+			if i < rem {
+				sizes[i]++
+			}
+		}
+	}
+	return sizes
+}
+
+// orderedCopy returns the points permuted by idx.
+func orderedCopy(points [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(points))
+	for rank, i := range idx {
+		out[rank] = points[i]
+	}
+	return out
+}
+
+// sortIndicesBy returns indices sorted by the given less function, stably.
+func sortIndicesBy(n int, less func(a, b int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	return idx
+}

@@ -1,0 +1,385 @@
+package bulkload
+
+import (
+	"fmt"
+	"math"
+
+	"bayestree/internal/core"
+	"bayestree/internal/mixture"
+	"bayestree/internal/sfc"
+	"bayestree/internal/stats"
+)
+
+// Goldberger is the statistical bottom-up bulk loader of Section 3.1 based
+// on Goldberger & Roweis [10]: starting from a mixture with one kernel per
+// training item, each tree level is the coarser mixture obtained by
+// regroup/refit under the KL mixture distance (Definition 4), initialised
+// by grouping ⌈0.75·M⌉ components in z-curve order. Groups that end up
+// holding too many members for a node are split by moving the group mean
+// ±ε along its highest-variance dimension and re-assigning members as in
+// the regroup step; groups with too few members are merged with their
+// KL-closest neighbour — exactly the post-processing the paper chose after
+// rejecting the integer-linear-program formulation as too slow.
+type Goldberger struct {
+	// MaxIters bounds each level's regroup/refit loop (default 8; the
+	// loop usually converges much earlier).
+	MaxIters int
+	// Epsilon scales the representative displacement of the oversize
+	// split, in units of the group's standard deviation (default 0.5).
+	Epsilon float64
+}
+
+// Name implements Loader.
+func (Goldberger) Name() string { return "goldberger" }
+
+// Build implements Loader.
+func (g Goldberger) Build(points [][]float64, cfg core.Config) (*core.Tree, error) {
+	reducer := func(f *mixture.Model, s, group int) (*mixture.ReduceResult, error) {
+		iters := g.MaxIters
+		if iters <= 0 {
+			iters = 8
+		}
+		return mixture.Reduce(f, s, mixture.ReduceOptions{MaxIters: iters, GroupSize: group})
+	}
+	return statisticalBuild(points, cfg, reducer, g.Epsilon)
+}
+
+// VirtualSampling is the second statistical approach the paper adapted
+// (Vasconcelos & Lippman [21]); the paper reports it was outperformed by
+// Goldberger, which the ablation benches let you confirm.
+type VirtualSampling struct {
+	// MaxIters bounds each level's EM loop (default 8).
+	MaxIters int
+	// Epsilon as for Goldberger (default 0.5).
+	Epsilon float64
+}
+
+// Name implements Loader.
+func (VirtualSampling) Name() string { return "vsample" }
+
+// Build implements Loader.
+func (v VirtualSampling) Build(points [][]float64, cfg core.Config) (*core.Tree, error) {
+	reducer := func(f *mixture.Model, s, group int) (*mixture.ReduceResult, error) {
+		iters := v.MaxIters
+		if iters <= 0 {
+			iters = 8
+		}
+		return mixture.VirtualSample(f, s, mixture.VirtualSampleOptions{MaxIters: iters})
+	}
+	return statisticalBuild(points, cfg, reducer, v.Epsilon)
+}
+
+type reduceFn func(f *mixture.Model, s, group int) (*mixture.ReduceResult, error)
+
+// statisticalBuild stacks tree levels bottom-up, each produced by reducing
+// the previous level's mixture.
+func statisticalBuild(points [][]float64, cfg core.Config, reduce reduceFn, epsilon float64) (*core.Tree, error) {
+	if err := validatePoints(points, cfg); err != nil {
+		return nil, err
+	}
+	if epsilon <= 0 {
+		epsilon = 0.5
+	}
+	b, err := core.NewBuilder(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Level 0: one kernel per training item, bandwidth by Silverman.
+	cf := stats.CFOfAll(points, cfg.Dim)
+	variance := cf.Variance()
+	sigma := make([]float64, len(variance))
+	for i, v := range variance {
+		sigma[i] = math.Sqrt(v)
+	}
+	bw := stats.SilvermanBandwidth(sigma, len(points), cfg.Dim)
+	kernelVar := make([]float64, cfg.Dim)
+	for i, h := range bw {
+		kernelVar[i] = h * h
+		if kernelVar[i] < stats.VarianceFloor {
+			kernelVar[i] = stats.VarianceFloor
+		}
+	}
+	comps := make([]stats.Gaussian, len(points))
+	weights := make([]float64, len(points))
+	for i, p := range points {
+		comps[i] = stats.Gaussian{Mean: p, Var: kernelVar}
+		weights[i] = 1
+	}
+	fine, err := mixture.New(weights, comps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce kernels to leaves.
+	leafGroups, err := reduceToGroups(fine, len(points), cfg.MinLeaf, cfg.MaxLeaf, reduce, epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("bulkload: leaf level: %w", err)
+	}
+	nodes := make([]*core.Node, 0, len(leafGroups))
+	for _, grp := range leafGroups {
+		pts := make([][]float64, len(grp))
+		for i, idx := range grp {
+			pts[i] = points[idx]
+		}
+		leaf, err := b.Leaf(pts)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, leaf)
+	}
+
+	// Stack inner levels until everything fits under one root.
+	for len(nodes) > cfg.MaxFanout {
+		level, err := levelMixture(nodes, cfg.Dim)
+		if err != nil {
+			return nil, err
+		}
+		groups, err := reduceToGroups(level, len(nodes), cfg.MinFanout, cfg.MaxFanout, reduce, epsilon)
+		if err != nil {
+			return nil, fmt.Errorf("bulkload: inner level (%d nodes): %w", len(nodes), err)
+		}
+		next := make([]*core.Node, 0, len(groups))
+		for _, grp := range groups {
+			children := make([]*core.Node, len(grp))
+			for i, idx := range grp {
+				children[i] = nodes[idx]
+			}
+			inner, err := b.Inner(children)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, inner)
+		}
+		if len(next) >= len(nodes) {
+			return nil, fmt.Errorf("bulkload: level reduction made no progress (%d → %d)", len(nodes), len(next))
+		}
+		nodes = next
+	}
+	var root *core.Node
+	if len(nodes) == 1 {
+		root = nodes[0]
+	} else {
+		root, err = b.Inner(nodes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Mixture-driven grouping does not guarantee equal-size paths per se,
+	// but levels are stacked uniformly, so the tree is balanced.
+	return b.Finish(root, true)
+}
+
+// levelMixture builds the mixture of a node level: one component per node
+// from its cluster feature, weighted by its count.
+func levelMixture(nodes []*core.Node, dim int) (*mixture.Model, error) {
+	weights := make([]float64, len(nodes))
+	comps := make([]stats.Gaussian, len(nodes))
+	for i, n := range nodes {
+		cf := nodeCF(n, dim)
+		weights[i] = cf.N
+		comps[i] = cf.Gaussian()
+	}
+	return mixture.New(weights, comps)
+}
+
+func nodeCF(n *core.Node, dim int) stats.CF {
+	cf := stats.NewCF(dim)
+	if n.IsLeaf() {
+		for _, p := range n.Points() {
+			cf.Add(p)
+		}
+		return cf
+	}
+	for _, e := range n.Entries() {
+		cf.Merge(e.CF)
+	}
+	return cf
+}
+
+// reduceToGroups reduces the fine mixture to ~count/⌈0.75·max⌉ groups and
+// post-processes them into the legal size range [min, max].
+func reduceToGroups(fine *mixture.Model, count, minSize, maxSize int, reduce reduceFn, epsilon float64) ([][]int, error) {
+	group := (3*maxSize + 3) / 4 // ⌈0.75·M⌉
+	if group < minSize {
+		group = minSize
+	}
+	if count <= maxSize {
+		all := make([]int, count)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}, nil
+	}
+	s := (count + group - 1) / group
+	if s < 2 {
+		s = 2
+	}
+	res, err := reduce(fine, s, group)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([][]int, s)
+	for i, j := range res.Pi {
+		groups[j] = append(groups[j], i)
+	}
+	nonEmpty := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty = append(nonEmpty, g)
+		}
+	}
+	return enforceGroupBounds(nonEmpty, fine, minSize, maxSize, epsilon)
+}
+
+// enforceGroupBounds applies the paper's post-processing: split oversize
+// groups via ±ε representatives, merge undersize groups into their
+// KL-closest neighbour. A bounded number of passes resolves interactions;
+// any residual illegality falls back to z-curve chunking, which is always
+// legal.
+func enforceGroupBounds(groups [][]int, fine *mixture.Model, minSize, maxSize int, epsilon float64) ([][]int, error) {
+	for pass := 0; pass < 12; pass++ {
+		changed := false
+		// Split oversize groups.
+		var next [][]int
+		for _, g := range groups {
+			if len(g) <= maxSize {
+				next = append(next, g)
+				continue
+			}
+			a, b := splitGroup(g, fine, epsilon)
+			next = append(next, a, b)
+			changed = true
+		}
+		groups = next
+		// Merge undersize groups.
+		for {
+			tiny := -1
+			for i, g := range groups {
+				if len(g) < minSize && len(groups) > 1 {
+					tiny = i
+					break
+				}
+			}
+			if tiny == -1 {
+				break
+			}
+			gTiny := groupGaussian(groups[tiny], fine)
+			best, bestKL := -1, math.Inf(1)
+			for i, g := range groups {
+				if i == tiny {
+					continue
+				}
+				if kl := stats.KL(gTiny, groupGaussian(g, fine)); kl < bestKL {
+					best, bestKL = i, kl
+				}
+			}
+			groups[best] = append(groups[best], groups[tiny]...)
+			groups = append(groups[:tiny], groups[tiny+1:]...)
+			changed = true
+		}
+		legal := true
+		for _, g := range groups {
+			if len(g) > maxSize || (len(g) < minSize && len(groups) > 1) {
+				legal = false
+				break
+			}
+		}
+		if legal {
+			return groups, nil
+		}
+		if !changed {
+			break
+		}
+	}
+	// Fallback: flatten and re-chunk in z-curve order of means. Always
+	// legal; only reached for adversarial size interactions.
+	var all []int
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	means := make([][]float64, len(all))
+	for i, idx := range all {
+		means[i] = fine.Comps[idx].Mean
+	}
+	order, err := sfc.SortByCurve(means, fine.Dim(), 10, sfc.ZOrder)
+	if err != nil {
+		return nil, err
+	}
+	sizes := chunkSizes(len(all), minSize, maxSize, (3*maxSize+3)/4)
+	out := make([][]int, 0, len(sizes))
+	pos := 0
+	for _, sz := range sizes {
+		g := make([]int, sz)
+		for i := 0; i < sz; i++ {
+			g[i] = all[order[pos+i]]
+		}
+		out = append(out, g)
+		pos += sz
+	}
+	return out, nil
+}
+
+// splitGroup implements the paper's oversize split: compute the group's
+// Gaussian, move its mean by ±ε·σ along the dimension with the highest
+// variance, place a Gaussian over each representative and re-assign the
+// members by KL as in the regroup step. Degenerate assignments fall back
+// to a median split along the same dimension.
+func splitGroup(g []int, fine *mixture.Model, epsilon float64) (a, b []int) {
+	gg := groupGaussian(g, fine)
+	dim := 0
+	for k := range gg.Var {
+		if gg.Var[k] > gg.Var[dim] {
+			dim = k
+		}
+	}
+	delta := epsilon * math.Sqrt(gg.Var[dim])
+	if delta <= 0 {
+		delta = 1e-6
+	}
+	repA := stats.Gaussian{Mean: append([]float64(nil), gg.Mean...), Var: gg.Var}
+	repB := stats.Gaussian{Mean: append([]float64(nil), gg.Mean...), Var: gg.Var}
+	repA.Mean[dim] -= delta
+	repB.Mean[dim] += delta
+	for _, idx := range g {
+		if stats.KL(fine.Comps[idx], repA) <= stats.KL(fine.Comps[idx], repB) {
+			a = append(a, idx)
+		} else {
+			b = append(b, idx)
+		}
+	}
+	if len(a) == 0 || len(b) == 0 {
+		// Median split along the chosen dimension.
+		sorted := append([]int(nil), g...)
+		sortSlice(sorted, func(x, y int) bool {
+			return fine.Comps[x].Mean[dim] < fine.Comps[y].Mean[dim]
+		})
+		mid := len(sorted) / 2
+		return sorted[:mid], sorted[mid:]
+	}
+	return a, b
+}
+
+// groupGaussian is the moment-preserving merge of a group's components.
+func groupGaussian(g []int, fine *mixture.Model) stats.Gaussian {
+	w, acc := 0.0, stats.Gaussian{}
+	first := true
+	for _, idx := range g {
+		if first {
+			w, acc = fine.Weights[idx], fine.Comps[idx]
+			first = false
+			continue
+		}
+		w, acc = mixture.MergeGaussians(w, acc, fine.Weights[idx], fine.Comps[idx])
+	}
+	return acc
+}
+
+func sortSlice(ids []int, less func(a, b int) bool) {
+	// insertion sort is sufficient for group-size slices
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

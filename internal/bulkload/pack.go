@@ -1,0 +1,264 @@
+package bulkload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bayestree/internal/core"
+	"bayestree/internal/sfc"
+)
+
+// Hilbert packs observations bottom-up in Hilbert-curve order: compute the
+// Hilbert value of every observation, sort, fill leaf nodes, then repeat on
+// the node mean vectors level by level until a single root remains —
+// exactly the procedure described in Section 3.1.
+type Hilbert struct {
+	// Bits is the curve quantisation precision per dimension (default 10).
+	Bits int
+	// Fill is the target node occupancy as a fraction of capacity
+	// (default 1.0 — classical full packing "w.r.t. the page size").
+	Fill float64
+}
+
+// Name implements Loader.
+func (Hilbert) Name() string { return "hilbert" }
+
+// Build implements Loader.
+func (h Hilbert) Build(points [][]float64, cfg core.Config) (*core.Tree, error) {
+	return curveBuild(points, cfg, sfc.Hilbert, h.Bits, h.Fill)
+}
+
+// ZCurve packs observations bottom-up in z-order (Morton order), the other
+// space-filling curve named in Section 3.1.
+type ZCurve struct {
+	// Bits is the curve quantisation precision per dimension (default 10).
+	Bits int
+	// Fill is the target occupancy fraction (default 1.0).
+	Fill float64
+}
+
+// Name implements Loader.
+func (ZCurve) Name() string { return "zcurve" }
+
+// Build implements Loader.
+func (z ZCurve) Build(points [][]float64, cfg core.Config) (*core.Tree, error) {
+	return curveBuild(points, cfg, sfc.ZOrder, z.Bits, z.Fill)
+}
+
+func curveBuild(points [][]float64, cfg core.Config, curve sfc.Curve, bits int, fill float64) (*core.Tree, error) {
+	if err := validatePoints(points, cfg); err != nil {
+		return nil, err
+	}
+	if bits <= 0 {
+		bits = 10
+	}
+	if fill <= 0 || fill > 1 {
+		fill = 1
+	}
+	b, err := core.NewBuilder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	order, err := sfc.SortByCurve(points, cfg.Dim, bits, curve)
+	if err != nil {
+		return nil, err
+	}
+	ordered := orderedCopy(points, order)
+	leafTarget := int(fill * float64(cfg.MaxLeaf))
+	nodes, err := packLeaves(b, ordered, cfg, leafTarget)
+	if err != nil {
+		return nil, err
+	}
+	for len(nodes) > 1 {
+		means := nodeMeans(b, nodes)
+		order, err := sfc.SortByCurve(means, cfg.Dim, bits, curve)
+		if err != nil {
+			return nil, err
+		}
+		sorted := make([]*core.Node, len(nodes))
+		for rank, i := range order {
+			sorted[rank] = nodes[i]
+		}
+		innerTarget := int(fill * float64(cfg.MaxFanout))
+		nodes, err = packInner(b, sorted, cfg, innerTarget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish(nodes[0], true)
+}
+
+// packLeaves cuts the ordered observations into legal leaf nodes.
+func packLeaves(b *core.Builder, ordered [][]float64, cfg core.Config, target int) ([]*core.Node, error) {
+	sizes := chunkSizes(len(ordered), cfg.MinLeaf, cfg.MaxLeaf, target)
+	nodes := make([]*core.Node, 0, len(sizes))
+	pos := 0
+	for _, s := range sizes {
+		leaf, err := b.Leaf(ordered[pos : pos+s])
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, leaf)
+		pos += s
+	}
+	if pos != len(ordered) {
+		return nil, fmt.Errorf("bulkload: packed %d of %d observations", pos, len(ordered))
+	}
+	return nodes, nil
+}
+
+// packInner cuts an ordered node sequence into legal parent nodes.
+func packInner(b *core.Builder, ordered []*core.Node, cfg core.Config, target int) ([]*core.Node, error) {
+	if len(ordered) == 1 {
+		return ordered, nil
+	}
+	sizes := chunkSizes(len(ordered), cfg.MinFanout, cfg.MaxFanout, target)
+	parents := make([]*core.Node, 0, len(sizes))
+	pos := 0
+	for _, s := range sizes {
+		inner, err := b.Inner(ordered[pos : pos+s])
+		if err != nil {
+			return nil, err
+		}
+		parents = append(parents, inner)
+		pos += s
+	}
+	return parents, nil
+}
+
+// nodeMeans returns the CF mean of each node, the representatives the
+// paper re-orders at every packing level.
+func nodeMeans(b *core.Builder, nodes []*core.Node) [][]float64 {
+	out := make([][]float64, len(nodes))
+	for i, n := range nodes {
+		out[i] = nodeMean(n, b.Config().Dim)
+	}
+	return out
+}
+
+func nodeMean(n *core.Node, dim int) []float64 {
+	sum := make([]float64, dim)
+	var count float64
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if n.IsLeaf() {
+			for _, p := range n.Points() {
+				for k, v := range p {
+					sum[k] += v
+				}
+				count++
+			}
+			return
+		}
+		for _, e := range n.Entries() {
+			// Entries already carry the subtree CF; use it directly.
+			for k := range sum {
+				sum[k] += e.CF.LS[k]
+			}
+			count += e.CF.N
+		}
+	}
+	walk(n)
+	if count > 0 {
+		for k := range sum {
+			sum[k] /= count
+		}
+	}
+	return sum
+}
+
+// STR is the sort-tile-recursive packing of Leutenegger et al. [14]: sort
+// by the first dimension, cut into vertical slabs, recurse within each
+// slab on the remaining dimensions, pack runs into nodes; repeat on node
+// centres for the upper levels.
+type STR struct {
+	// Fill is the target occupancy fraction (default 1.0).
+	Fill float64
+}
+
+// Name implements Loader.
+func (STR) Name() string { return "str" }
+
+// Build implements Loader.
+func (s STR) Build(points [][]float64, cfg core.Config) (*core.Tree, error) {
+	if err := validatePoints(points, cfg); err != nil {
+		return nil, err
+	}
+	fill := s.Fill
+	if fill <= 0 || fill > 1 {
+		fill = 1
+	}
+	b, err := core.NewBuilder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	leafTarget := int(fill * float64(cfg.MaxLeaf))
+	if leafTarget < cfg.MinLeaf {
+		leafTarget = cfg.MinLeaf
+	}
+	ordered := strOrder(points, cfg.Dim, leafTarget)
+	nodes, err := packLeaves(b, ordered, cfg, leafTarget)
+	if err != nil {
+		return nil, err
+	}
+	for len(nodes) > 1 {
+		innerTarget := int(fill * float64(cfg.MaxFanout))
+		if innerTarget < cfg.MinFanout {
+			innerTarget = cfg.MinFanout
+		}
+		means := nodeMeans(b, nodes)
+		perm := strPermutation(means, cfg.Dim, innerTarget)
+		sorted := make([]*core.Node, len(nodes))
+		for rank, i := range perm {
+			sorted[rank] = nodes[i]
+		}
+		nodes, err = packInner(b, sorted, cfg, innerTarget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish(nodes[0], true)
+}
+
+// strOrder returns the observations in sort-tile-recursive order for node
+// capacity c.
+func strOrder(points [][]float64, dim, c int) [][]float64 {
+	idx := strPermutation(points, dim, c)
+	return orderedCopy(points, idx)
+}
+
+// strPermutation computes the STR ordering of the given vectors.
+func strPermutation(points [][]float64, dim, c int) []int {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	var tile func(ids []int, axis int)
+	tile = func(ids []int, axis int) {
+		if len(ids) <= c || axis >= dim {
+			return
+		}
+		sortIdsByAxis(points, ids, axis)
+		remaining := dim - axis
+		pages := int(math.Ceil(float64(len(ids)) / float64(c)))
+		slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(remaining))))
+		if slabs < 1 {
+			slabs = 1
+		}
+		per := (len(ids) + slabs - 1) / slabs
+		for start := 0; start < len(ids); start += per {
+			end := start + per
+			if end > len(ids) {
+				end = len(ids)
+			}
+			tile(ids[start:end], axis+1)
+		}
+	}
+	tile(idx, 0)
+	return idx
+}
+
+func sortIdsByAxis(points [][]float64, ids []int, axis int) {
+	sort.SliceStable(ids, func(a, b int) bool { return points[ids[a]][axis] < points[ids[b]][axis] })
+}

@@ -1,0 +1,468 @@
+// Package clustree implements the anytime-clustering extension sketched in
+// Section 4.2 of the paper (the design that later became ClusTree): a
+// balanced index of cluster features maintained under anytime constraints
+// on a data stream.
+//
+// The key mechanisms, all named in the paper:
+//
+//   - exponential decay — entry weights fade as 2^(−λ·Δt), keeping an
+//     up-to-date view of the evolving distribution in constant space;
+//   - CF additivity — entries aggregate, subtract and compare snapshots
+//     from arbitrary points in time;
+//   - parked insertions — when the stream leaves no time to reach a leaf,
+//     the object is aggregated into a buffer CF at the entry where the
+//     descent was interrupted ("park insertion objects in inner nodes");
+//   - hitchhikers — a later descent through that entry takes the buffered
+//     mass along, so parked objects eventually reach leaf level;
+//   - self-adaptation — under sustained pressure objects park higher up
+//     and no splits occur, so the tree size adapts to the stream speed.
+//
+// Leaf entries are micro-clusters; MicroClusters exposes them and
+// MacroCluster groups them density-based (as in [5]) for the final
+// clustering.
+package clustree
+
+import (
+	"fmt"
+	"math"
+
+	"bayestree/internal/stats"
+)
+
+// Config parameterises the clustering tree.
+type Config struct {
+	// Dim is the observation dimensionality.
+	Dim int
+	// MaxFanout (M) and MinFanout (m) bound inner-node entry counts.
+	MaxFanout, MinFanout int
+	// MaxLeafEntries bounds the micro-clusters per leaf.
+	MaxLeafEntries int
+	// Lambda is the decay rate: a weight halves every 1/Lambda time units.
+	// Zero disables decay.
+	Lambda float64
+	// MergeThreshold is the distance (relative to micro-cluster radius)
+	// under which an arriving object is absorbed into an existing
+	// micro-cluster instead of creating a new one (default 3).
+	MergeThreshold float64
+	// AbsorbDistance is an absolute absorption distance: objects within
+	// it of a micro-cluster mean always merge, preventing tight sources
+	// from fragmenting into swarms of near-zero-radius micro-clusters
+	// (default 0.03, suited to unit-cube data).
+	AbsorbDistance float64
+}
+
+// DefaultConfig mirrors the Bayes tree's emulated page fanout.
+func DefaultConfig(dim int) Config {
+	return Config{
+		Dim:            dim,
+		MaxFanout:      4,
+		MinFanout:      2,
+		MaxLeafEntries: 8,
+		Lambda:         0.01,
+		MergeThreshold: 3,
+		AbsorbDistance: 0.03,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Dim < 1 {
+		return fmt.Errorf("clustree: Dim must be ≥ 1, got %d", c.Dim)
+	}
+	if c.MaxFanout < 2 {
+		return fmt.Errorf("clustree: MaxFanout must be ≥ 2, got %d", c.MaxFanout)
+	}
+	if c.MinFanout < 1 || c.MinFanout > c.MaxFanout/2 {
+		return fmt.Errorf("clustree: MinFanout must be in [1, MaxFanout/2], got %d", c.MinFanout)
+	}
+	if c.MaxLeafEntries < 2 {
+		return fmt.Errorf("clustree: MaxLeafEntries must be ≥ 2, got %d", c.MaxLeafEntries)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("clustree: Lambda must be ≥ 0, got %v", c.Lambda)
+	}
+	if c.MergeThreshold < 0 {
+		return fmt.Errorf("clustree: MergeThreshold must be ≥ 0, got %v", c.MergeThreshold)
+	}
+	if c.AbsorbDistance < 0 {
+		return fmt.Errorf("clustree: AbsorbDistance must be ≥ 0, got %v", c.AbsorbDistance)
+	}
+	return nil
+}
+
+// entry is a tree entry: the decayed cluster feature of its subtree (or
+// micro-cluster, at leaf level), the buffer of parked objects and the
+// timestamp of the last decay application.
+type entry struct {
+	cf     stats.CF
+	buffer stats.CF
+	child  *node // nil at leaf level
+	ts     float64
+}
+
+type node struct {
+	leaf    bool
+	entries []*entry
+}
+
+// Tree is the anytime clustering index. It is not safe for concurrent use.
+type Tree struct {
+	cfg     Config
+	root    *node
+	now     float64
+	inserts int
+	parked  int
+	merges  int
+	splits  int
+}
+
+// New creates an empty clustering tree.
+func New(cfg Config) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{cfg: cfg, root: &node{leaf: true}}, nil
+}
+
+// Now returns the tree's current time (the largest insertion timestamp).
+func (t *Tree) Now() float64 { return t.now }
+
+// Inserts returns the number of objects inserted.
+func (t *Tree) Inserts() int { return t.inserts }
+
+// Parked returns how many insertions ended in a buffer instead of a leaf.
+func (t *Tree) Parked() int { return t.parked }
+
+// Splits returns how many leaf splits occurred.
+func (t *Tree) Splits() int { return t.splits }
+
+// decay brings an entry's CFs forward to time ts.
+func (t *Tree) decay(e *entry, ts float64) {
+	if t.cfg.Lambda == 0 || ts <= e.ts {
+		e.ts = math.Max(e.ts, ts)
+		return
+	}
+	w := math.Exp2(-t.cfg.Lambda * (ts - e.ts))
+	e.cf.Scale(w)
+	e.buffer.Scale(w)
+	e.ts = ts
+}
+
+// Insert adds an object observed at timestamp ts with a budget of node
+// visits. A budget that runs out parks the object (plus any hitchhikers
+// collected on the way) in the deepest reached entry's buffer; a budget
+// < 0 means unlimited. Timestamps must be non-decreasing.
+func (t *Tree) Insert(x []float64, ts float64, budget int) error {
+	if len(x) != t.cfg.Dim {
+		return fmt.Errorf("clustree: point dim %d != %d", len(x), t.cfg.Dim)
+	}
+	if ts < t.now {
+		return fmt.Errorf("clustree: timestamp %v precedes current time %v", ts, t.now)
+	}
+	t.now = ts
+	t.inserts++
+
+	hitchhiker := stats.CFOf(x)
+	n := t.root
+	var path []*node
+	for !n.leaf {
+		path = append(path, n)
+		if budget == 0 {
+			// Out of time: park the object in the closest entry's buffer.
+			e := t.closestEntry(n, x, ts)
+			e.buffer.Merge(hitchhiker)
+			t.parked++
+			return nil
+		}
+		e := t.closestEntry(n, x, ts)
+		// The insertion mass (object + hitchhikers) joins the subtree
+		// summary on the way down.
+		e.cf.Merge(hitchhiker)
+		// Take parked mass along (the hitchhiker mechanism): it travels
+		// with us toward leaf level. The mass moves from "at this entry"
+		// into the subtree below it, so it joins e.cf now.
+		if e.buffer.N > 0 {
+			e.cf.Merge(e.buffer)
+			hitchhiker.Merge(e.buffer)
+			e.buffer = stats.NewCF(t.cfg.Dim)
+		}
+		n = e.child
+		if budget > 0 {
+			budget--
+		}
+	}
+	// Leaf level: absorb into the closest micro-cluster or open a new one.
+	t.insertLeaf(n, path, hitchhiker, x, ts, budget)
+	return nil
+}
+
+// closestEntry decays the node's entries to ts and returns the entry whose
+// mean is nearest to x (empty entries lose).
+func (t *Tree) closestEntry(n *node, x []float64, ts float64) *entry {
+	var best *entry
+	bestD := math.Inf(1)
+	for _, e := range n.entries {
+		t.decay(e, ts)
+		if e.cf.N <= 0 && e.buffer.N <= 0 {
+			continue
+		}
+		d := sqDist(e.cf.Mean(), x)
+		if d < bestD {
+			best, bestD = e, d
+		}
+	}
+	if best == nil {
+		best = n.entries[0]
+	}
+	return best
+}
+
+// insertLeaf merges the arriving mass into a micro-cluster or creates one.
+func (t *Tree) insertLeaf(n *node, path []*node, mass stats.CF, x []float64, ts float64, budget int) {
+	var best *entry
+	bestD := math.Inf(1)
+	for _, e := range n.entries {
+		t.decay(e, ts)
+		if e.cf.N <= 0 {
+			continue
+		}
+		d := math.Sqrt(sqDist(e.cf.Mean(), x))
+		if d < bestD {
+			best, bestD = e, d
+		}
+	}
+	if best != nil {
+		absorb := t.cfg.MergeThreshold * best.cf.Radius()
+		if absorb < t.cfg.AbsorbDistance {
+			absorb = t.cfg.AbsorbDistance
+		}
+		if bestD <= absorb || (len(n.entries) >= t.cfg.MaxLeafEntries && budget == 0) {
+			best.cf.Merge(mass)
+			t.merges++
+			return
+		}
+	}
+	n.entries = append(n.entries, &entry{cf: mass, buffer: stats.NewCF(t.cfg.Dim), ts: ts})
+	if len(n.entries) > t.cfg.MaxLeafEntries {
+		if budget == 0 {
+			// No time to split: merge the two closest micro-clusters —
+			// the self-adaptation that keeps the tree size matched to the
+			// stream speed.
+			t.mergeClosest(n)
+			return
+		}
+		t.splitLeafUp(n, path, ts)
+	}
+}
+
+// mergeClosest merges the two closest entries of a leaf.
+func (t *Tree) mergeClosest(n *node) {
+	bi, bj, bd := -1, -1, math.Inf(1)
+	for i := 0; i < len(n.entries); i++ {
+		for j := i + 1; j < len(n.entries); j++ {
+			d := sqDist(n.entries[i].cf.Mean(), n.entries[j].cf.Mean())
+			if d < bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	if bi < 0 {
+		return
+	}
+	n.entries[bi].cf.Merge(n.entries[bj].cf)
+	n.entries[bi].buffer.Merge(n.entries[bj].buffer)
+	n.entries = append(n.entries[:bj], n.entries[bj+1:]...)
+	t.merges++
+}
+
+// splitLeafUp splits an overflowing node and propagates upward, growing
+// the root if needed (balanced growth as in R-trees).
+func (t *Tree) splitLeafUp(n *node, path []*node, ts float64) {
+	t.splits++
+	left, right := t.splitNode(n)
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i]
+		// Replace the entry pointing at n with entries for the halves.
+		idx := -1
+		for j, e := range parent.entries {
+			if e.child == n {
+				idx = j
+				break
+			}
+		}
+		le, re := t.summarizeEntry(left, ts), t.summarizeEntry(right, ts)
+		if idx >= 0 {
+			// Preserve the parked buffer of the replaced entry.
+			le.buffer.Merge(parent.entries[idx].buffer)
+			parent.entries[idx] = le
+			parent.entries = append(parent.entries, re)
+		}
+		if len(parent.entries) <= t.cfg.MaxFanout {
+			return
+		}
+		n = parent
+		left, right = t.splitNode(parent)
+	}
+	// Root split.
+	newRoot := &node{entries: []*entry{
+		t.summarizeEntry(left, ts),
+		t.summarizeEntry(right, ts),
+	}}
+	t.root = newRoot
+}
+
+// summarizeEntry builds a parent entry over a node: children are decayed
+// to the common timestamp ts, then their CFs and parked buffers are
+// summed (buffers below an entry count toward its subtree weight).
+func (t *Tree) summarizeEntry(n *node, ts float64) *entry {
+	e := &entry{cf: stats.NewCF(t.cfg.Dim), buffer: stats.NewCF(t.cfg.Dim), child: n, ts: ts}
+	for _, c := range n.entries {
+		t.decay(c, ts)
+		e.cf.Merge(c.cf)
+		e.cf.Merge(c.buffer)
+	}
+	return e
+}
+
+// splitNode splits by the dimension of largest extent of entry means
+// (fast single-pass heuristic; clustering quality is dominated by decay
+// and merge behaviour, not the split rule).
+func (t *Tree) splitNode(n *node) (left, right *node) {
+	dim := t.cfg.Dim
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for k := 0; k < dim; k++ {
+		lo[k], hi[k] = math.Inf(1), math.Inf(-1)
+	}
+	means := make([][]float64, len(n.entries))
+	for i, e := range n.entries {
+		m := e.cf.Mean()
+		means[i] = m
+		for k, v := range m {
+			if v < lo[k] {
+				lo[k] = v
+			}
+			if v > hi[k] {
+				hi[k] = v
+			}
+		}
+	}
+	axis, best := 0, -1.0
+	for k := 0; k < dim; k++ {
+		if ext := hi[k] - lo[k]; ext > best {
+			axis, best = k, ext
+		}
+	}
+	mid := (lo[axis] + hi[axis]) / 2
+	l := &node{leaf: n.leaf}
+	r := &node{leaf: n.leaf}
+	for i, e := range n.entries {
+		if means[i][axis] <= mid {
+			l.entries = append(l.entries, e)
+		} else {
+			r.entries = append(r.entries, e)
+		}
+	}
+	// Guarantee non-empty halves.
+	if len(l.entries) == 0 {
+		l.entries = append(l.entries, r.entries[len(r.entries)-1])
+		r.entries = r.entries[:len(r.entries)-1]
+	}
+	if len(r.entries) == 0 {
+		r.entries = append(r.entries, l.entries[len(l.entries)-1])
+		l.entries = l.entries[:len(l.entries)-1]
+	}
+	return l, r
+}
+
+// MicroCluster is a leaf-level cluster feature at a common timestamp.
+type MicroCluster struct {
+	CF     stats.CF
+	Weight float64
+	Mean   []float64
+	Radius float64
+}
+
+// MicroClusters returns all micro-clusters (including parked buffer mass,
+// which is folded into its entry) decayed to the tree's current time,
+// dropping those whose weight fell below minWeight.
+func (t *Tree) MicroClusters(minWeight float64) []MicroCluster {
+	var out []MicroCluster
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			t.decay(e, t.now)
+			if n.leaf {
+				cf := e.cf.Clone()
+				cf.Merge(e.buffer)
+				if cf.N < minWeight {
+					continue
+				}
+				out = append(out, MicroCluster{CF: cf, Weight: cf.N, Mean: cf.Mean(), Radius: cf.Radius()})
+				continue
+			}
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Weight returns the total (decayed) weight stored in the tree, parked
+// mass included. With λ > 0 this is less than Inserts().
+func (t *Tree) Weight() float64 {
+	var total float64
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			t.decay(e, t.now)
+			total += e.buffer.N
+			if n.leaf {
+				total += e.cf.N
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+// Validate checks the decayed-CF consistency invariant: each inner entry's
+// CF weight is at least the sum of its subtree's leaf and buffer weights
+// below it (decay makes exact equality hold only at a common timestamp, so
+// the check decays everything to now first and allows small tolerance).
+func (t *Tree) Validate() error {
+	var walk func(n *node) (float64, error)
+	walk = func(n *node) (float64, error) {
+		var total float64
+		for _, e := range n.entries {
+			t.decay(e, t.now)
+			if n.leaf {
+				total += e.cf.N + e.buffer.N
+				continue
+			}
+			below, err := walk(e.child)
+			if err != nil {
+				return 0, err
+			}
+			below += e.buffer.N
+			if e.cf.N+e.buffer.N+1e-6 < below {
+				return 0, fmt.Errorf("clustree: entry weight %v below subtree weight %v", e.cf.N+e.buffer.N, below)
+			}
+			total += below
+		}
+		return total, nil
+	}
+	_, err := walk(t.root)
+	return err
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

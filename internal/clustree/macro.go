@@ -1,0 +1,129 @@
+package clustree
+
+import (
+	"math"
+	"sort"
+)
+
+// MacroOptions parameterise the density-based offline clustering over
+// micro-clusters (Section 4.2 proposes "density based clustering in an
+// offline component as in [5]" to find clusters of arbitrary shape).
+type MacroOptions struct {
+	// Eps connects two micro-clusters whose means are within Eps.
+	Eps float64
+	// MinWeight is the minimum decayed weight for a micro-cluster to act
+	// as a core (lighter ones can only join as border members).
+	MinWeight float64
+}
+
+// MacroCluster is a connected group of micro-clusters.
+type MacroCluster struct {
+	Members []int // indices into the MicroClusters slice
+	Weight  float64
+	Mean    []float64
+}
+
+// MacroClusters groups micro-clusters density-based: cores (weight ≥
+// MinWeight) within Eps of each other are connected; non-core
+// micro-clusters join the nearest core within Eps; the rest are noise
+// (returned as the second value).
+func MacroClusters(mcs []MicroCluster, opts MacroOptions) ([]MacroCluster, []int) {
+	n := len(mcs)
+	if n == 0 {
+		return nil, nil
+	}
+	core := make([]bool, n)
+	for i, m := range mcs {
+		core[i] = m.Weight >= opts.MinWeight
+	}
+	// Union-find over cores.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(i int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	eps2 := opts.Eps * opts.Eps
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if !core[j] {
+				continue
+			}
+			if sqDist(mcs[i].Mean, mcs[j].Mean) <= eps2 {
+				union(i, j)
+			}
+		}
+	}
+	// Borders attach to their nearest core within eps.
+	assigned := make([]int, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if core[i] {
+			assigned[i] = find(i)
+			continue
+		}
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !core[j] {
+				continue
+			}
+			if d := sqDist(mcs[i].Mean, mcs[j].Mean); d <= eps2 && d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best >= 0 {
+			assigned[i] = find(best)
+		}
+	}
+	groups := make(map[int][]int)
+	var noise []int
+	for i, a := range assigned {
+		if a == -1 {
+			noise = append(noise, i)
+			continue
+		}
+		groups[a] = append(groups[a], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([]MacroCluster, 0, len(groups))
+	for _, r := range roots {
+		members := groups[r]
+		mc := MacroCluster{Members: members}
+		dim := len(mcs[members[0]].Mean)
+		mc.Mean = make([]float64, dim)
+		for _, i := range members {
+			mc.Weight += mcs[i].Weight
+			for k := 0; k < dim; k++ {
+				mc.Mean[k] += mcs[i].Weight * mcs[i].Mean[k]
+			}
+		}
+		if mc.Weight > 0 {
+			for k := range mc.Mean {
+				mc.Mean[k] /= mc.Weight
+			}
+		}
+		out = append(out, mc)
+	}
+	return out, noise
+}

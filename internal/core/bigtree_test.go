@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// A tree large enough that a breadth-first cursor's FIFO exceeds the
+// prefix-compaction threshold (1024 consumed elements): exercises the
+// queue-release path and re-verifies exactness at scale.
+func TestBFTQueueCompactionAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-tree test")
+	}
+	tree, err := NewTree(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, p := range randPoints(rng, 12000, 2) {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tree.Stats()
+	if s.Nodes < 2000 {
+		t.Fatalf("tree too small for compaction test: %d nodes", s.Nodes)
+	}
+	x := []float64{0.31, 0.62}
+	cur := tree.NewCursor(x, DescentBFT, PriorityProbabilistic)
+	reads := cur.RefineAll()
+	if reads != s.Nodes {
+		t.Fatalf("read %d nodes, tree has %d", reads, s.Nodes)
+	}
+	want := directKernelLogDensity(tree, x)
+	if got := cur.LogDensity(); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("BFT at scale: %v, want %v", got, want)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// The same at scale for the heap-based global strategy, confirming the
+// accumulator's shift rescaling stays exact through thousands of terms.
+func TestGlobalCursorAccumulatorAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-tree test")
+	}
+	tree, err := NewTree(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	// Clustered data creates extreme density ratios between terms, the
+	// stress case for the shifted accumulator.
+	for i := 0; i < 8000; i++ {
+		c := float64(i%4) * 0.25
+		p := []float64{
+			math.Mod(math.Abs(c+rng.NormFloat64()*0.01), 1),
+			math.Mod(math.Abs(c+rng.NormFloat64()*0.01), 1),
+			rng.Float64(),
+		}
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := []float64{0.25, 0.25, 0.5}
+	cur := tree.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	cur.RefineAll()
+	want := directKernelLogDensity(tree, x)
+	if got := cur.LogDensity(); math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+		t.Fatalf("accumulator drift at scale: %v, want %v", got, want)
+	}
+}

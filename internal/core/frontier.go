@@ -1,0 +1,294 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"bayestree/internal/stats"
+)
+
+// Strategy selects the tree traversal order of Section 2.2.
+type Strategy int
+
+// Traversal strategies evaluated in the paper.
+const (
+	// DescentGlobal ("glo") refines the globally best entry by priority.
+	DescentGlobal Strategy = iota
+	// DescentBFT refines in breadth-first order.
+	DescentBFT
+	// DescentDFT refines in depth-first order.
+	DescentDFT
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case DescentGlobal:
+		return "glo"
+	case DescentBFT:
+		return "bft"
+	case DescentDFT:
+		return "dft"
+	}
+	return "unknown"
+}
+
+// Priority selects the ordering measure for global best-first descent.
+type Priority int
+
+// Priority measures evaluated in the paper.
+const (
+	// PriorityProbabilistic orders by the weighted probability density of
+	// the entry's Gaussian at the query (higher first).
+	PriorityProbabilistic Priority = iota
+	// PriorityGeometric orders by the distance from the query to the
+	// entry's MBR (closer first).
+	PriorityGeometric
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityProbabilistic:
+		return "prob"
+	case PriorityGeometric:
+		return "geom"
+	}
+	return "unknown"
+}
+
+// refElem is a refinable frontier element: an entry whose subtree can be
+// expanded by one node read.
+type refElem struct {
+	logTerm float64 // log contribution to the mixture density at x
+	prio    float64 // refinement priority, higher first
+	child   *Node
+	seq     int // FIFO tie-break for determinism
+}
+
+type refHeap []refElem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refElem)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Cursor is an in-progress anytime probability density query against one
+// Bayes tree (Definition 3 plus the time-step refinement of Section 2.2).
+// It starts from the frontier {root entry} — the coarsest complete model —
+// and each Refine call reads one node, replacing a frontier entry by its
+// children (or, at leaf level, by the kernel estimators of its
+// observations) and updating the mixture density incrementally.
+type Cursor struct {
+	tree     *Cursorable
+	x        []float64
+	strategy Strategy
+	priority Priority
+
+	heap refHeap
+	fifo []refElem
+	head int
+	seq  int
+
+	acc   float64 // Σ exp(logTerm − shift) over the current frontier
+	shift float64
+	reads int
+	logN  float64
+	h     []float64 // kernel bandwidths
+	obs   []int     // observed dims for missing-value queries (nil = all)
+}
+
+// Cursorable carries what a cursor needs from a tree; it decouples the
+// cursor from Tree so MultiTree can reuse the machinery.
+type Cursorable struct {
+	cfg  Config
+	root Entry
+	n    float64
+	bw   []float64
+}
+
+// NewCursor starts an anytime density query for x against the tree.
+// NaN coordinates in x mark missing values; the density is then the
+// marginal over the observed dimensions (Section 4.2 extension). It
+// returns nil for an empty tree.
+func (t *Tree) NewCursor(x []float64, strategy Strategy, priority Priority) *Cursor {
+	rootEntry, ok := t.RootEntry()
+	if !ok {
+		return nil
+	}
+	ct := &Cursorable{cfg: t.cfg, root: rootEntry, n: rootEntry.CF.N, bw: t.Bandwidth()}
+	return newCursor(ct, x, strategy, priority)
+}
+
+func newCursor(ct *Cursorable, x []float64, strategy Strategy, priority Priority) *Cursor {
+	c := &Cursor{
+		tree:     ct,
+		x:        x,
+		strategy: strategy,
+		priority: priority,
+		logN:     math.Log(ct.n),
+		h:        ct.bw,
+		acc:      0,
+		shift:    math.Inf(-1),
+		obs:      stats.ObservedDims(x),
+	}
+	// The level-0 model: a single Gaussian over the entire population,
+	// available without reading any node.
+	g := ct.root.CF.Gaussian()
+	logTerm := g.LogPDFObs(x, c.obs) // weight n/n = 1
+	c.push(refElem{logTerm: logTerm, prio: c.prioFor(&ct.root, logTerm), child: ct.root.Child})
+	c.addTerm(logTerm)
+	return c
+}
+
+// prioFor computes the refinement priority of an entry.
+func (c *Cursor) prioFor(e *Entry, logTerm float64) float64 {
+	if c.priority == PriorityGeometric {
+		return -e.Rect.MinDist2Obs(c.x, c.obs)
+	}
+	return logTerm
+}
+
+func (c *Cursor) push(e refElem) {
+	e.seq = c.seq
+	c.seq++
+	switch c.strategy {
+	case DescentGlobal:
+		heap.Push(&c.heap, e)
+	default:
+		c.fifo = append(c.fifo, e)
+	}
+}
+
+func (c *Cursor) pop() (refElem, bool) {
+	switch c.strategy {
+	case DescentGlobal:
+		if len(c.heap) == 0 {
+			return refElem{}, false
+		}
+		return heap.Pop(&c.heap).(refElem), true
+	case DescentBFT:
+		if c.head >= len(c.fifo) {
+			return refElem{}, false
+		}
+		e := c.fifo[c.head]
+		c.head++
+		// Periodically release consumed prefix.
+		if c.head > 1024 && c.head*2 > len(c.fifo) {
+			c.fifo = append([]refElem(nil), c.fifo[c.head:]...)
+			c.head = 0
+		}
+		return e, true
+	default: // DescentDFT
+		if len(c.fifo) <= c.head {
+			return refElem{}, false
+		}
+		e := c.fifo[len(c.fifo)-1]
+		c.fifo = c.fifo[:len(c.fifo)-1]
+		return e, true
+	}
+}
+
+// addTerm accumulates exp(l) into the shifted linear accumulator,
+// rescaling when a dominant new term arrives.
+func (c *Cursor) addTerm(l float64) {
+	if math.IsInf(l, -1) {
+		return
+	}
+	if math.IsInf(c.shift, -1) {
+		c.shift = l
+		c.acc = 1
+		return
+	}
+	if l > c.shift+30 {
+		c.acc *= math.Exp(c.shift - l)
+		c.shift = l
+	}
+	c.acc += math.Exp(l - c.shift)
+}
+
+// removeTerm removes exp(l) from the accumulator, clamping tiny negative
+// residues from floating-point cancellation.
+func (c *Cursor) removeTerm(l float64) {
+	if math.IsInf(l, -1) || math.IsInf(c.shift, -1) {
+		return
+	}
+	c.acc -= math.Exp(l - c.shift)
+	if c.acc < 0 {
+		c.acc = 0
+	}
+}
+
+// Exhausted reports whether the frontier is fully refined to kernels.
+func (c *Cursor) Exhausted() bool {
+	switch c.strategy {
+	case DescentGlobal:
+		return len(c.heap) == 0
+	case DescentBFT:
+		return c.head >= len(c.fifo)
+	default:
+		return len(c.fifo) <= c.head
+	}
+}
+
+// NodesRead returns the number of nodes read so far.
+func (c *Cursor) NodesRead() int { return c.reads }
+
+// LogDensity returns the current log mixture density pdq(x, E) for the
+// frontier E (Definition 3).
+func (c *Cursor) LogDensity() float64 {
+	if c.acc <= 0 {
+		return math.Inf(-1)
+	}
+	return c.shift + math.Log(c.acc)
+}
+
+// Refine reads one more node, replacing the next frontier entry by its
+// children per the descent strategy. It reports whether a node was read
+// (false when the model is fully refined).
+func (c *Cursor) Refine() bool {
+	e, ok := c.pop()
+	if !ok {
+		return false
+	}
+	c.reads++
+	c.removeTerm(e.logTerm)
+	n := e.child
+	if n.leaf {
+		for _, p := range n.points {
+			logTerm := -c.logN + c.tree.cfg.Kernel.LogDensityObs(c.x, p, c.h, c.obs)
+			c.addTerm(logTerm)
+		}
+		return true
+	}
+	for i := range n.entries {
+		en := &n.entries[i]
+		g := en.CF.Gaussian()
+		logTerm := math.Log(en.CF.N) - c.logN + g.LogPDFObs(c.x, c.obs)
+		c.push(refElem{logTerm: logTerm, prio: c.prioFor(en, logTerm), child: en.Child})
+		c.addTerm(logTerm)
+	}
+	return true
+}
+
+// RefineAll fully refines the model (down to the kernel level) and returns
+// the number of nodes read. Useful for exact (non-anytime) classification
+// and for tests comparing against direct kernel density computation.
+func (c *Cursor) RefineAll() int {
+	start := c.reads
+	for c.Refine() {
+	}
+	return c.reads - start
+}

@@ -1,0 +1,598 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"bayestree/internal/mbr"
+	"bayestree/internal/stats"
+)
+
+// This file implements the structural modification of Section 4.1: instead
+// of one Bayes tree per class, a single tree stores the complete training
+// data and each entry keeps per-class statistical information, so one node
+// read refines the models of several classes at once ("parallel refinement
+// of several classes in a single descent").
+
+// LabeledPoint is a training observation with its class label.
+type LabeledPoint struct {
+	X     []float64
+	Label int
+}
+
+// MultiEntry is the modified entry of Section 4.1: one MBR and pointer as
+// before, but a cluster feature per class (plus their pooled sum, used for
+// descent decisions and variance pooling).
+type MultiEntry struct {
+	Rect  mbr.Rect
+	CFs   []stats.CF // indexed by class index; CFs[c].N == 0 when absent
+	Total stats.CF
+	Child *MultiNode
+}
+
+// MultiNode is a node of the multi-class Bayes tree.
+type MultiNode struct {
+	leaf    bool
+	entries []MultiEntry
+	points  []LabeledPoint
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *MultiNode) IsLeaf() bool { return n.leaf }
+
+// Entries returns the entries of an inner node (nil for leaves).
+func (n *MultiNode) Entries() []MultiEntry { return n.entries }
+
+// Points returns the observations of a leaf (nil for inner nodes).
+func (n *MultiNode) Points() []LabeledPoint { return n.points }
+
+// MultiOptions configure the multi-class tree variant.
+type MultiOptions struct {
+	// PooledVariance stores one variance per entry (from the pooled CF)
+	// instead of per-class variances — the "variance pooling" trade-off
+	// the paper poses as an open question. Class means and counts remain
+	// per class.
+	PooledVariance bool
+	// EntropyPriority weights the descent priority by the class-label
+	// entropy of the entry, so descents prefer regions where the class
+	// decision is still uncertain (the paper's suggestion to "include the
+	// class distribution into the decision").
+	EntropyPriority bool
+}
+
+// MultiTree is the single-tree multi-class Bayes tree.
+type MultiTree struct {
+	cfg    Config
+	mopts  MultiOptions
+	labels []int
+	index  map[int]int
+	root   *MultiNode
+	size   int
+	counts []float64
+}
+
+// NewMultiTree creates an empty multi-class tree over the given class
+// labels (which fix the per-entry CF layout).
+func NewMultiTree(cfg Config, labels []int, mopts MultiOptions) (*MultiTree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("core: multi tree needs ≥ 2 classes, got %d", len(labels))
+	}
+	index := make(map[int]int, len(labels))
+	for i, l := range labels {
+		if _, dup := index[l]; dup {
+			return nil, fmt.Errorf("core: duplicate class label %d", l)
+		}
+		index[l] = i
+	}
+	return &MultiTree{
+		cfg:    cfg,
+		mopts:  mopts,
+		labels: append([]int(nil), labels...),
+		index:  index,
+		root:   &MultiNode{leaf: true},
+		counts: make([]float64, len(labels)),
+	}, nil
+}
+
+// Labels returns the class labels in tree order.
+func (t *MultiTree) Labels() []int { return append([]int(nil), t.labels...) }
+
+// Len returns the number of stored observations.
+func (t *MultiTree) Len() int { return t.size }
+
+// Root returns the root node for read-only traversal.
+func (t *MultiTree) Root() *MultiNode { return t.root }
+
+// summarize computes the MultiEntry describing node n.
+func (t *MultiTree) summarize(n *MultiNode) MultiEntry {
+	d := t.cfg.Dim
+	e := MultiEntry{
+		Rect:  mbr.Empty(d),
+		CFs:   make([]stats.CF, len(t.labels)),
+		Total: stats.NewCF(d),
+		Child: n,
+	}
+	for i := range e.CFs {
+		e.CFs[i] = stats.NewCF(d)
+	}
+	if n.leaf {
+		for _, p := range n.points {
+			e.Rect.ExtendPoint(p.X)
+			ci := t.index[p.Label]
+			e.CFs[ci].Add(p.X)
+			e.Total.Add(p.X)
+		}
+	} else {
+		for i := range n.entries {
+			e.Rect.Extend(n.entries[i].Rect)
+			for c := range e.CFs {
+				e.CFs[c].Merge(n.entries[i].CFs[c])
+			}
+			e.Total.Merge(n.entries[i].Total)
+		}
+	}
+	return e
+}
+
+// Insert adds a labeled observation (R*-style, as in Tree.Insert but
+// maintaining per-class cluster features).
+func (t *MultiTree) Insert(x []float64, label int) error {
+	if len(x) != t.cfg.Dim {
+		return fmt.Errorf("core: point dim %d != tree dim %d", len(x), t.cfg.Dim)
+	}
+	ci, ok := t.index[label]
+	if !ok {
+		return fmt.Errorf("core: unknown class label %d", label)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: non-finite coordinate %d", i)
+		}
+	}
+	cp := make([]float64, len(x))
+	copy(cp, x)
+	t.insertPoint(LabeledPoint{X: cp, Label: label})
+	t.size++
+	t.counts[ci]++
+	return nil
+}
+
+func (t *MultiTree) insertPoint(p LabeledPoint) {
+	rect := mbr.Point(p.X)
+	path := []*MultiNode{t.root}
+	n := t.root
+	for !n.leaf {
+		idx := t.chooseSubtree(n, rect)
+		n = n.entries[idx].Child
+		path = append(path, n)
+	}
+	n.points = append(n.points, p)
+	t.fixOverflow(path)
+}
+
+func (t *MultiTree) chooseSubtree(n *MultiNode, r mbr.Rect) int {
+	best := 0
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i := range n.entries {
+		enl := mbr.Enlargement(n.entries[i].Rect, r)
+		area := n.entries[i].Rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+func (t *MultiTree) fixOverflow(path []*MultiNode) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		over := (n.leaf && len(n.points) > t.cfg.MaxLeaf) || (!n.leaf && len(n.entries) > t.cfg.MaxFanout)
+		if !over {
+			t.refreshPath(path[:i+1])
+			continue
+		}
+		var left, right *MultiNode
+		if n.leaf {
+			l, r := splitItems(n.points, func(p LabeledPoint) mbr.Rect { return mbr.Point(p.X) }, t.cfg.Dim, t.cfg.MinLeaf)
+			left, right = &MultiNode{leaf: true, points: l}, &MultiNode{leaf: true, points: r}
+		} else {
+			l, r := splitItems(n.entries, func(e MultiEntry) mbr.Rect { return e.Rect }, t.cfg.Dim, t.cfg.MinFanout)
+			left, right = &MultiNode{entries: l}, &MultiNode{entries: r}
+		}
+		if i == 0 {
+			t.root = &MultiNode{entries: []MultiEntry{t.summarize(left), t.summarize(right)}}
+			return
+		}
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].Child == n {
+				parent.entries[j] = t.summarize(left)
+				break
+			}
+		}
+		parent.entries = append(parent.entries, t.summarize(right))
+	}
+}
+
+func (t *MultiTree) refreshPath(path []*MultiNode) {
+	for i := len(path) - 1; i >= 1; i-- {
+		child := path[i]
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].Child == child {
+				parent.entries[j] = t.summarize(child)
+				break
+			}
+		}
+	}
+}
+
+// bandwidths returns the per-class Silverman bandwidth vectors.
+func (t *MultiTree) bandwidths() [][]float64 {
+	root := t.summarize(t.root)
+	out := make([][]float64, len(t.labels))
+	for c := range t.labels {
+		cf := root.CFs[c]
+		variance := cf.Variance()
+		sigma := make([]float64, len(variance))
+		for i, v := range variance {
+			sigma[i] = math.Sqrt(v)
+		}
+		n := int(cf.N)
+		out[c] = stats.SilvermanBandwidth(sigma, n, t.cfg.Dim)
+	}
+	return out
+}
+
+// classGaussian returns the Gaussian contributed by entry e for class c,
+// honouring the variance-pooling option.
+func (t *MultiTree) classGaussian(e *MultiEntry, c int) stats.Gaussian {
+	if t.mopts.PooledVariance {
+		return stats.Gaussian{Mean: e.CFs[c].Mean(), Var: e.Total.Variance()}
+	}
+	return e.CFs[c].Gaussian()
+}
+
+// mElem is a refinable element of the multi-class frontier.
+type mElem struct {
+	prio     float64
+	logTerms []float64 // per class; -Inf when the class is absent
+	child    *MultiNode
+	seq      int
+}
+
+type mHeap []mElem
+
+func (h mHeap) Len() int { return len(h) }
+func (h mHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h mHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mHeap) Push(x interface{}) { *h = append(*h, x.(mElem)) }
+func (h *mHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// MultiQuery is an in-progress anytime classification against a
+// MultiTree. One Step refines all class models simultaneously.
+type MultiQuery struct {
+	t      *MultiTree
+	x      []float64
+	opts   ClassifierOptions
+	heap   mHeap
+	fifo   []mElem
+	head   int
+	seq    int
+	accs   []float64
+	shifts []float64
+	bw     [][]float64
+	logNc  []float64
+	obs    []int
+	reads  int
+}
+
+// NewQuery starts an anytime classification of x. It returns an error for
+// an empty tree or one with empty classes.
+func (t *MultiTree) NewQuery(x []float64, opts ClassifierOptions) (*MultiQuery, error) {
+	if t.size == 0 {
+		return nil, fmt.Errorf("core: query against empty multi tree")
+	}
+	q := &MultiQuery{
+		t:      t,
+		x:      x,
+		opts:   opts,
+		accs:   make([]float64, len(t.labels)),
+		shifts: make([]float64, len(t.labels)),
+		bw:     t.bandwidths(),
+		logNc:  make([]float64, len(t.labels)),
+		obs:    stats.ObservedDims(x),
+	}
+	for c := range q.shifts {
+		q.shifts[c] = math.Inf(-1)
+		if t.counts[c] > 0 {
+			q.logNc[c] = math.Log(t.counts[c])
+		} else {
+			q.logNc[c] = math.Inf(1) // class absent: densities stay zero
+		}
+	}
+	root := t.summarize(t.root)
+	q.pushEntry(&root)
+	return q, nil
+}
+
+// pushEntry converts an entry into a frontier element, adds its per-class
+// terms and enqueues it for refinement.
+func (q *MultiQuery) pushEntry(e *MultiEntry) {
+	nc := len(q.t.labels)
+	terms := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		if e.CFs[c].N <= 0 || math.IsInf(q.logNc[c], 1) {
+			terms[c] = math.Inf(-1)
+			continue
+		}
+		g := q.t.classGaussian(e, c)
+		terms[c] = math.Log(e.CFs[c].N) - q.logNc[c] + g.LogPDFObs(q.x, q.obs)
+		q.addTerm(c, terms[c])
+	}
+	el := mElem{logTerms: terms, child: e.Child, seq: q.seq}
+	q.seq++
+	el.prio = q.prioFor(e, terms)
+	switch q.opts.Strategy {
+	case DescentGlobal:
+		heap.Push(&q.heap, el)
+	default:
+		q.fifo = append(q.fifo, el)
+	}
+}
+
+// prioFor computes the descent priority for an entry: geometric MINDIST,
+// or the pooled weighted density, optionally weighted by class entropy.
+func (q *MultiQuery) prioFor(e *MultiEntry, terms []float64) float64 {
+	if q.opts.Priority == PriorityGeometric {
+		return -e.Rect.MinDist2Obs(q.x, q.obs)
+	}
+	finite := terms[:0:0]
+	for _, tm := range terms {
+		if !math.IsInf(tm, -1) {
+			finite = append(finite, tm)
+		}
+	}
+	prio := stats.LogSumExp(finite)
+	if q.t.mopts.EntropyPriority {
+		prio += math.Log1p(q.entropy(e))
+	}
+	return prio
+}
+
+// entropy returns the class-label entropy (nats) of the entry's counts.
+func (q *MultiQuery) entropy(e *MultiEntry) float64 {
+	var total float64
+	for c := range e.CFs {
+		total += e.CFs[c].N
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for c := range e.CFs {
+		if e.CFs[c].N <= 0 {
+			continue
+		}
+		p := e.CFs[c].N / total
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+func (q *MultiQuery) addTerm(c int, l float64) {
+	if math.IsInf(l, -1) {
+		return
+	}
+	if math.IsInf(q.shifts[c], -1) {
+		q.shifts[c] = l
+		q.accs[c] = 1
+		return
+	}
+	if l > q.shifts[c]+30 {
+		q.accs[c] *= math.Exp(q.shifts[c] - l)
+		q.shifts[c] = l
+	}
+	q.accs[c] += math.Exp(l - q.shifts[c])
+}
+
+func (q *MultiQuery) removeTerm(c int, l float64) {
+	if math.IsInf(l, -1) || math.IsInf(q.shifts[c], -1) {
+		return
+	}
+	q.accs[c] -= math.Exp(l - q.shifts[c])
+	if q.accs[c] < 0 {
+		q.accs[c] = 0
+	}
+}
+
+func (q *MultiQuery) pop() (mElem, bool) {
+	switch q.opts.Strategy {
+	case DescentGlobal:
+		if len(q.heap) == 0 {
+			return mElem{}, false
+		}
+		return heap.Pop(&q.heap).(mElem), true
+	case DescentBFT:
+		if q.head >= len(q.fifo) {
+			return mElem{}, false
+		}
+		e := q.fifo[q.head]
+		q.head++
+		return e, true
+	default:
+		if len(q.fifo) <= q.head {
+			return mElem{}, false
+		}
+		e := q.fifo[len(q.fifo)-1]
+		q.fifo = q.fifo[:len(q.fifo)-1]
+		return e, true
+	}
+}
+
+// NodesRead returns the nodes read so far.
+func (q *MultiQuery) NodesRead() int { return q.reads }
+
+// Exhausted reports whether the model is fully refined.
+func (q *MultiQuery) Exhausted() bool {
+	if q.opts.Strategy == DescentGlobal {
+		return len(q.heap) == 0
+	}
+	return q.head >= len(q.fifo)
+}
+
+// Step refines one node, updating every class model at once. It reports
+// whether a node was read.
+func (q *MultiQuery) Step() bool {
+	e, ok := q.pop()
+	if !ok {
+		return false
+	}
+	q.reads++
+	for c, l := range e.logTerms {
+		q.removeTerm(c, l)
+	}
+	n := e.child
+	if n.leaf {
+		for _, p := range n.points {
+			c := q.t.index[p.Label]
+			if math.IsInf(q.logNc[c], 1) {
+				continue
+			}
+			l := -q.logNc[c] + q.t.cfg.Kernel.LogDensityObs(q.x, p.X, q.bw[c], q.obs)
+			q.addTerm(c, l)
+		}
+		return true
+	}
+	for i := range n.entries {
+		q.pushEntry(&n.entries[i])
+	}
+	return true
+}
+
+// scores returns per-class log posterior scores.
+func (q *MultiQuery) scores() []float64 {
+	total := q.t.size
+	out := make([]float64, len(q.t.labels))
+	for c := range out {
+		if q.t.counts[c] <= 0 || q.accs[c] <= 0 {
+			out[c] = math.Inf(-1)
+			continue
+		}
+		logPrior := math.Log(q.t.counts[c] / float64(total))
+		out[c] = logPrior + q.shifts[c] + math.Log(q.accs[c])
+	}
+	return out
+}
+
+// Predict returns the currently most probable label.
+func (q *MultiQuery) Predict() int {
+	s := q.scores()
+	best := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[best] {
+			best = i
+		}
+	}
+	return q.t.labels[best]
+}
+
+// Classify runs an anytime classification with the given node budget
+// (negative = until exhausted) and returns the prediction.
+func (t *MultiTree) Classify(x []float64, opts ClassifierOptions, budget int) (int, error) {
+	q, err := t.NewQuery(x, opts)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; budget < 0 || i < budget; i++ {
+		if !q.Step() {
+			break
+		}
+	}
+	return q.Predict(), nil
+}
+
+// ClassifyTrace records the prediction after every node read, as
+// Classifier.ClassifyTrace does for the per-class forest.
+func (t *MultiTree) ClassifyTrace(x []float64, opts ClassifierOptions, budget int) ([]int, error) {
+	q, err := t.NewQuery(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	trace := make([]int, budget+1)
+	trace[0] = q.Predict()
+	for i := 1; i <= budget; i++ {
+		if q.Step() {
+			trace[i] = q.Predict()
+		} else {
+			trace[i] = trace[i-1]
+		}
+	}
+	return trace, nil
+}
+
+// Validate checks structural invariants (MBR and per-class CF consistency,
+// capacities). Balanced depth is guaranteed by construction for
+// incremental inserts.
+func (t *MultiTree) Validate() error {
+	if t.size == 0 {
+		return nil
+	}
+	const tol = 1e-6
+	var walk func(n *MultiNode, isRoot bool) error
+	walk = func(n *MultiNode, isRoot bool) error {
+		if n.leaf {
+			if !isRoot && (len(n.points) < t.cfg.MinLeaf || len(n.points) > t.cfg.MaxLeaf) {
+				return fmt.Errorf("core: multi leaf occupancy %d outside [%d,%d]", len(n.points), t.cfg.MinLeaf, t.cfg.MaxLeaf)
+			}
+			return nil
+		}
+		if !isRoot && (len(n.entries) < t.cfg.MinFanout || len(n.entries) > t.cfg.MaxFanout) {
+			return fmt.Errorf("core: multi fanout %d outside [%d,%d]", len(n.entries), t.cfg.MinFanout, t.cfg.MaxFanout)
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			want := t.summarize(e.Child)
+			for k := 0; k < t.cfg.Dim; k++ {
+				if math.Abs(e.Rect.Lo[k]-want.Rect.Lo[k]) > tol || math.Abs(e.Rect.Hi[k]-want.Rect.Hi[k]) > tol {
+					return fmt.Errorf("core: multi stale MBR in dim %d", k)
+				}
+			}
+			for c := range e.CFs {
+				if math.Abs(e.CFs[c].N-want.CFs[c].N) > tol {
+					return fmt.Errorf("core: multi stale CF count for class %d", t.labels[c])
+				}
+			}
+			if err := walk(e.Child, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, true); err != nil {
+		return err
+	}
+	var total float64
+	for _, c := range t.counts {
+		total += c
+	}
+	if int(total) != t.size {
+		return fmt.Errorf("core: class counts sum %v != size %d", total, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"bayestree/internal/mbr"
+)
+
+// splitItems performs the R* topological split on any slice of items with
+// rectangles: the split axis minimises the summed margins over all legal
+// distributions, the split index minimises overlap (area breaks ties).
+// Both the per-class MultiTree and the per-class forest reuse it, as do
+// leaf splits (whose rectangles are degenerate points).
+func splitItems[T any](items []T, rectOf func(T) mbr.Rect, dim, minFill int) (left, right []T) {
+	xs := append([]T(nil), items...)
+	m := minFill
+	total := len(xs)
+
+	bestAxis, bestLower := 0, true
+	bestMargin := math.Inf(1)
+	for axis := 0; axis < dim; axis++ {
+		for _, lower := range []bool{true, false} {
+			sortByAxis(xs, rectOf, axis, lower)
+			var margin float64
+			for k := m; k <= total-m; k++ {
+				margin += groupRect(xs[:k], rectOf, dim).Margin() + groupRect(xs[k:], rectOf, dim).Margin()
+			}
+			if margin < bestMargin {
+				bestMargin, bestAxis, bestLower = margin, axis, lower
+			}
+		}
+	}
+	sortByAxis(xs, rectOf, bestAxis, bestLower)
+	bestK := m
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	for k := m; k <= total-m; k++ {
+		lr := groupRect(xs[:k], rectOf, dim)
+		rr := groupRect(xs[k:], rectOf, dim)
+		overlap := mbr.OverlapArea(lr, rr)
+		area := lr.Area() + rr.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, overlap, area
+		}
+	}
+	left = append([]T(nil), xs[:bestK]...)
+	right = append([]T(nil), xs[bestK:]...)
+	return left, right
+}
+
+func sortByAxis[T any](xs []T, rectOf func(T) mbr.Rect, axis int, lower bool) {
+	sort.SliceStable(xs, func(a, b int) bool {
+		ra, rb := rectOf(xs[a]), rectOf(xs[b])
+		if lower {
+			if ra.Lo[axis] != rb.Lo[axis] {
+				return ra.Lo[axis] < rb.Lo[axis]
+			}
+			return ra.Hi[axis] < rb.Hi[axis]
+		}
+		if ra.Hi[axis] != rb.Hi[axis] {
+			return ra.Hi[axis] < rb.Hi[axis]
+		}
+		return ra.Lo[axis] < rb.Lo[axis]
+	})
+}
+
+func groupRect[T any](xs []T, rectOf func(T) mbr.Rect, dim int) mbr.Rect {
+	r := mbr.Empty(dim)
+	for _, x := range xs {
+		r.Extend(rectOf(x))
+	}
+	return r
+}
+
+// splitEntries splits inner-node entries.
+func splitEntries(entries []Entry, dim, minFill int) (left, right []Entry) {
+	return splitItems(entries, func(e Entry) mbr.Rect { return e.Rect }, dim, minFill)
+}
+
+// splitPoints splits leaf observations.
+func splitPoints(points [][]float64, dim, minFill int) (left, right [][]float64) {
+	return splitItems(points, mbr.Point, dim, minFill)
+}
+
+func entriesMBR(es []Entry, dim int) mbr.Rect {
+	return groupRect(es, func(e Entry) mbr.Rect { return e.Rect }, dim)
+}
+
+func pointsMBR(ps [][]float64, dim int) mbr.Rect {
+	r := mbr.Empty(dim)
+	for _, p := range ps {
+		r.ExtendPoint(p)
+	}
+	return r
+}

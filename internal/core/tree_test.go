@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bayestree/internal/kernels"
+)
+
+func smallConfig(dim int) Config {
+	return Config{
+		Dim:       dim,
+		MinFanout: 2, MaxFanout: 5,
+		MinLeaf: 2, MaxLeaf: 6,
+		Kernel:         kernels.Gaussian{},
+		ForcedReinsert: true,
+	}
+}
+
+func randPoints(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, d)
+		for k := range p {
+			p[k] = rng.Float64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(8).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Dim: 0, MinFanout: 2, MaxFanout: 5, MinLeaf: 2, MaxLeaf: 6, Kernel: kernels.Gaussian{}},
+		{Dim: 2, MinFanout: 3, MaxFanout: 5, MinLeaf: 2, MaxLeaf: 6, Kernel: kernels.Gaussian{}},
+		{Dim: 2, MinFanout: 2, MaxFanout: 5, MinLeaf: 4, MaxLeaf: 6, Kernel: kernels.Gaussian{}},
+		{Dim: 2, MinFanout: 2, MaxFanout: 5, MinLeaf: 2, MaxLeaf: 6},
+		{Dim: 2, MinFanout: 2, MaxFanout: 5, MinLeaf: 2, MaxLeaf: 6, Kernel: kernels.Gaussian{}, ReinsertFraction: 0.8},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigPageDerivation(t *testing.T) {
+	// For d=16 an entry is (4·16+2)·8 = 528 bytes → M = 3, clamped to 4.
+	cfg := DefaultConfig(16)
+	if cfg.MaxFanout != 4 {
+		t.Errorf("MaxFanout(16) = %d, want 4", cfg.MaxFanout)
+	}
+	if cfg.MaxLeaf != 16 {
+		t.Errorf("MaxLeaf(16) = %d, want 16", cfg.MaxLeaf)
+	}
+	// Low dimensions hit the clamp at 32/64.
+	cfg = DefaultConfig(1)
+	if cfg.MaxFanout != 32 || cfg.MaxLeaf != 64 {
+		t.Errorf("clamps wrong: %+v", cfg)
+	}
+}
+
+func TestInsertMaintainsInvariants(t *testing.T) {
+	for _, reinsert := range []bool{true, false} {
+		cfg := smallConfig(3)
+		cfg.ForcedReinsert = reinsert
+		tree, err := NewTree(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i, p := range randPoints(rng, 500, 3) {
+			if err := tree.Insert(p); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+			if i%37 == 0 {
+				if err := tree.Validate(); err != nil {
+					t.Fatalf("reinsert=%v, invariants after %d inserts: %v", reinsert, i+1, err)
+				}
+			}
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("reinsert=%v, final: %v", reinsert, err)
+		}
+		if tree.Len() != 500 {
+			t.Fatalf("Len = %d", tree.Len())
+		}
+		if !tree.Balanced() {
+			t.Fatalf("iterative tree must be balanced")
+		}
+	}
+}
+
+func TestInsertRejectsBadInput(t *testing.T) {
+	tree, _ := NewTree(smallConfig(2))
+	if err := tree.Insert([]float64{1}); err == nil {
+		t.Errorf("wrong dim accepted")
+	}
+	if err := tree.Insert([]float64{1, math.NaN()}); err == nil {
+		t.Errorf("NaN accepted")
+	}
+	if err := tree.Insert([]float64{1, math.Inf(1)}); err == nil {
+		t.Errorf("Inf accepted")
+	}
+}
+
+func TestInsertCopiesInput(t *testing.T) {
+	tree, _ := NewTree(smallConfig(2))
+	p := []float64{0.5, 0.5}
+	if err := tree.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 99
+	e, ok := tree.RootEntry()
+	if !ok {
+		t.Fatal("no root entry")
+	}
+	if e.CF.Mean()[0] == 99 {
+		t.Errorf("tree aliases caller's slice")
+	}
+}
+
+func TestRootEntrySummarisesEverything(t *testing.T) {
+	tree, _ := NewTree(smallConfig(2))
+	if _, ok := tree.RootEntry(); ok {
+		t.Errorf("empty tree has a root entry")
+	}
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 300, 2)
+	var sum0 float64
+	for _, p := range pts {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		sum0 += p[0]
+	}
+	e, ok := tree.RootEntry()
+	if !ok {
+		t.Fatal("no root entry")
+	}
+	if e.CF.N != 300 {
+		t.Errorf("root CF.N = %v", e.CF.N)
+	}
+	if math.Abs(e.CF.LS[0]-sum0) > 1e-6 {
+		t.Errorf("root LS[0] = %v, want %v", e.CF.LS[0], sum0)
+	}
+	// MBR covers all points.
+	for _, p := range pts {
+		if !e.Rect.ContainsPoint(p) {
+			t.Fatalf("root MBR misses point %v", p)
+		}
+	}
+}
+
+func TestBandwidthShrinksWithN(t *testing.T) {
+	mk := func(n int) *Tree {
+		tree, _ := NewTree(smallConfig(2))
+		rng := rand.New(rand.NewSource(3))
+		for _, p := range randPoints(rng, n, 2) {
+			if err := tree.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tree
+	}
+	small := mk(50).Bandwidth()
+	large := mk(5000).Bandwidth()
+	if large[0] >= small[0] {
+		t.Errorf("bandwidth did not shrink: %v vs %v", small[0], large[0])
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	tree, _ := NewTree(smallConfig(2))
+	rng := rand.New(rand.NewSource(4))
+	for _, p := range randPoints(rng, 400, 2) {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tree.Stats()
+	if s.Observations != 400 {
+		t.Errorf("Observations = %d", s.Observations)
+	}
+	if s.Height < 3 {
+		t.Errorf("height %d suspiciously small for 400 points with L=6", s.Height)
+	}
+	if s.Leaves == 0 || s.AvgLeafOcc < 2 || s.AvgLeafOcc > 6 {
+		t.Errorf("leaf occupancy out of bounds: %+v", s)
+	}
+	if s.AvgFanout < 2 || s.AvgFanout > 5 {
+		t.Errorf("fanout out of bounds: %+v", s)
+	}
+}
+
+func TestDuplicatePointsTree(t *testing.T) {
+	tree, _ := NewTree(smallConfig(2))
+	for i := 0; i < 100; i++ {
+		if err := tree.Insert([]float64{0.3, 0.3}); err != nil {
+			t.Fatalf("duplicate insert %d: %v", i, err)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	e, _ := tree.RootEntry()
+	g := e.Gaussian()
+	if math.IsNaN(g.Var[0]) || g.Var[0] <= 0 {
+		t.Errorf("degenerate variance: %v", g.Var)
+	}
+}
+
+// Entries hold exact subtree summaries even after heavy mutation — the
+// foundation of Definition 1 (checked densely here, beyond Validate's
+// spot use elsewhere).
+func TestCFExactnessUnderChurn(t *testing.T) {
+	cfg := smallConfig(4)
+	tree, err := NewTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		p := make([]float64, 4)
+		for k := range p {
+			// Clustered inserts to force deep, uneven structure.
+			p[k] = math.Mod(rng.NormFloat64()*0.1+float64(i%7)*0.15, 1)
+			if p[k] < 0 {
+				p[k] += 1
+			}
+		}
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions control parsing of labelled CSV data.
+type CSVOptions struct {
+	// LabelColumn is the zero-based column holding the class label; -1
+	// means the last column (the UCI convention).
+	LabelColumn int
+	// HasHeader skips the first row.
+	HasHeader bool
+	// Comma is the field separator (default ',').
+	Comma rune
+}
+
+// ReadCSV parses a labelled data set from r. Feature columns must be
+// numeric; labels may be numeric or strings (strings are mapped to dense
+// integer codes in first-appearance order). Errors carry the offending
+// line number.
+func ReadCSV(r io.Reader, name string, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1
+
+	ds := &Dataset{Name: name}
+	labelCodes := make(map[string]int)
+	line := 0
+	wantFields := -1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s line %d: %w", name, line+1, err)
+		}
+		line++
+		if line == 1 && opts.HasHeader {
+			continue
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("dataset: %s line %d: need ≥ 2 columns, got %d", name, line, len(rec))
+		}
+		if wantFields == -1 {
+			wantFields = len(rec)
+		} else if len(rec) != wantFields {
+			return nil, fmt.Errorf("dataset: %s line %d: %d columns, want %d", name, line, len(rec), wantFields)
+		}
+		labelCol := opts.LabelColumn
+		if labelCol < 0 {
+			labelCol = len(rec) - 1
+		}
+		if labelCol >= len(rec) {
+			return nil, fmt.Errorf("dataset: %s line %d: label column %d out of range", name, line, labelCol)
+		}
+		x := make([]float64, 0, len(rec)-1)
+		for i, f := range rec {
+			if i == labelCol {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s line %d column %d: %q is not numeric", name, line, i, f)
+			}
+			x = append(x, v)
+		}
+		labelStr := strings.TrimSpace(rec[labelCol])
+		var y int
+		if v, err := strconv.Atoi(labelStr); err == nil {
+			y = v
+		} else {
+			code, ok := labelCodes[labelStr]
+			if !ok {
+				code = len(labelCodes)
+				labelCodes[labelStr] = code
+			}
+			y = code
+		}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// LoadCSV reads a labelled CSV file from disk.
+func LoadCSV(path string, opts CSVOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	return ReadCSV(f, strings.TrimSuffix(name, ".csv"), opts)
+}
+
+// WriteCSV writes the data set as CSV with the label in the last column.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, d.Dim()+1)
+	for i, x := range d.X {
+		for k, v := range x {
+			rec[k] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[d.Dim()] = strconv.Itoa(d.Y[i])
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the data set to a file.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return d.WriteCSV(f)
+}

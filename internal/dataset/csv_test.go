@@ -1,0 +1,169 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "1.5,2.5,0\n3.5,4.5,1\n5.0,6.0,0\n"
+	ds, err := ReadCSV(strings.NewReader(in), "test", CSVOptions{LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.Dim() != 2 {
+		t.Fatalf("shape %d×%d", ds.Len(), ds.Dim())
+	}
+	if ds.X[1][0] != 3.5 || ds.Y[1] != 1 {
+		t.Fatalf("row 1 = %v/%d", ds.X[1], ds.Y[1])
+	}
+}
+
+func TestReadCSVHeaderAndLabelColumn(t *testing.T) {
+	in := "label,a,b\n7,1,2\n8,3,4\n"
+	ds, err := ReadCSV(strings.NewReader(in), "test", CSVOptions{LabelColumn: 0, HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.Y[0] != 7 || ds.X[0][0] != 1 || ds.X[0][1] != 2 {
+		t.Fatalf("parse wrong: %v %v", ds.X[0], ds.Y[0])
+	}
+}
+
+func TestReadCSVStringLabels(t *testing.T) {
+	in := "1,2,cat\n3,4,dog\n5,6,cat\n"
+	ds, err := ReadCSV(strings.NewReader(in), "test", CSVOptions{LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Y[0] != 0 || ds.Y[1] != 1 || ds.Y[2] != 0 {
+		t.Fatalf("string label coding wrong: %v", ds.Y)
+	}
+}
+
+func TestReadCSVCustomSeparator(t *testing.T) {
+	in := "1;2;0\n3;4;1\n"
+	ds, err := ReadCSV(strings.NewReader(in), "test", CSVOptions{LabelColumn: -1, Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+}
+
+// Failure injection: malformed inputs must produce errors naming the line.
+func TestReadCSVFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opts CSVOptions
+	}{
+		{"non-numeric feature", "1,abc,0\n", CSVOptions{LabelColumn: -1}},
+		{"ragged rows", "1,2,0\n1,2,3,0\n", CSVOptions{LabelColumn: -1}},
+		{"too few columns", "5\n", CSVOptions{LabelColumn: -1}},
+		{"label column out of range", "1,2\n", CSVOptions{LabelColumn: 5}},
+		{"empty input", "", CSVOptions{LabelColumn: -1}},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), "bad", c.opts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if c.name == "non-numeric feature" && !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("%s: error does not name the line: %v", c.name, err)
+		}
+	}
+}
+
+// Failure injection: a reader that fails mid-stream must surface the error.
+type flakyReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *flakyReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, errors.New("disk on fire")
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func TestReadCSVReaderError(t *testing.T) {
+	r := &flakyReader{data: []byte("1,2,0\n3,4,")}
+	if _, err := ReadCSV(r, "flaky", CSVOptions{LabelColumn: -1}); err == nil {
+		t.Errorf("mid-stream failure swallowed")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := mustSynthetic(t, demoSpec())
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "back", CSVOptions{LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() || back.Dim() != ds.Dim() {
+		t.Fatalf("round trip shape %d×%d", back.Len(), back.Dim())
+	}
+	for i := range ds.X {
+		if back.Y[i] != ds.Y[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		for k := range ds.X[i] {
+			if back.X[i][k] != ds.X[i][k] {
+				t.Fatalf("value [%d][%d] changed: %v → %v", i, k, ds.X[i][k], back.X[i][k])
+			}
+		}
+	}
+}
+
+func TestSaveLoadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.csv")
+	ds := mustSynthetic(t, demoSpec())
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path, CSVOptions{LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	if back.Name != "ds" {
+		t.Errorf("name = %q, want ds", back.Name)
+	}
+	if _, err := LoadCSV(filepath.Join(dir, "missing.csv"), CSVOptions{}); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+// Failure injection: writing to a failing writer must error, not panic.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 64 {
+		return 0, errors.New("quota exceeded")
+	}
+	return len(p), nil
+}
+
+func TestWriteCSVWriterError(t *testing.T) {
+	ds := mustSynthetic(t, demoSpec())
+	var w failWriter
+	if err := ds.WriteCSV(&w); err == nil {
+		t.Errorf("write failure swallowed")
+	}
+}

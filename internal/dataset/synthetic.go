@@ -1,0 +1,282 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SyntheticSpec parameterises a synthetic multi-class data set whose
+// class-conditional densities are random Gaussian mixtures — the structure
+// the Bayes tree models, so bulk-loading comparisons on these data sets
+// exercise the same mechanisms as the UCI data of Table 1 (see DESIGN.md
+// for the substitution rationale).
+type SyntheticSpec struct {
+	Name     string
+	Size     int
+	Classes  int
+	Features int
+	// ModesPerClass is the number of Gaussian components per class
+	// (default 4), making class densities genuinely multimodal.
+	ModesPerClass int
+	// Spread is the base component standard deviation in the unit cube
+	// (default 0.08). Larger spreads overlap classes more.
+	Spread float64
+	// ModeSpread is the standard deviation of mode centres around their
+	// class centre (default 2×Spread). Small values make classes nearly
+	// unimodal (high accuracy with the coarsest model); larger values
+	// reward deeper refinement — the knob that shapes how much anytime
+	// refinement can still gain.
+	ModeSpread float64
+	// Overlap in [0,1) pulls all class centres toward the cube centre,
+	// increasing class confusion (default 0).
+	Overlap float64
+	// DominantWeight in [0,1) is the probability mass of the class's
+	// primary mode at its class centre; the remaining mass is spread over
+	// satellite modes scattered independently across the cube. A high
+	// dominant weight gives the coarsest (unimodal) model decent accuracy
+	// while the interleaved satellites reward refinement — the regime
+	// where bulk-loading quality matters (default 0: all modes scattered,
+	// fully flat multimodality).
+	DominantWeight float64
+	// Skew > 0 makes class priors non-uniform following a power law
+	// (class c gets weight (c+1)^-Skew); 0 means uniform.
+	Skew float64
+	// NoiseDims is the number of trailing features that carry no class
+	// information (uniform noise), as in real sensor data.
+	NoiseDims int
+	// Seed fixes the generator.
+	Seed int64
+}
+
+func (s *SyntheticSpec) defaults() error {
+	if s.Size <= 0 || s.Classes <= 0 || s.Features <= 0 {
+		return fmt.Errorf("dataset: synthetic spec needs positive size/classes/features, got %d/%d/%d",
+			s.Size, s.Classes, s.Features)
+	}
+	if s.NoiseDims >= s.Features {
+		return fmt.Errorf("dataset: %d noise dims leave no informative features (of %d)", s.NoiseDims, s.Features)
+	}
+	if s.ModesPerClass <= 0 {
+		s.ModesPerClass = 4
+	}
+	if s.Spread <= 0 {
+		s.Spread = 0.08
+	}
+	if s.ModeSpread <= 0 {
+		s.ModeSpread = 2 * s.Spread
+	}
+	if s.Overlap < 0 || s.Overlap >= 1 {
+		return fmt.Errorf("dataset: overlap must be in [0,1), got %v", s.Overlap)
+	}
+	return nil
+}
+
+// Synthetic generates a data set per the spec. All feature values lie in
+// [0, 1]; the generator is fully deterministic in the seed.
+func Synthetic(spec SyntheticSpec) (*Dataset, error) {
+	if err := spec.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	inf := spec.Features - spec.NoiseDims
+
+	// Class priors.
+	priors := make([]float64, spec.Classes)
+	var z float64
+	for c := range priors {
+		if spec.Skew > 0 {
+			priors[c] = math.Pow(float64(c+1), -spec.Skew)
+		} else {
+			priors[c] = 1
+		}
+		z += priors[c]
+	}
+	for c := range priors {
+		priors[c] /= z
+	}
+
+	// Per-class mixtures over the informative dims.
+	type mode struct {
+		mean  []float64
+		sigma []float64
+	}
+	classModes := make([][]mode, spec.Classes)
+	modeWeights := make([][]float64, spec.Classes)
+	for c := 0; c < spec.Classes; c++ {
+		// Class centre, pulled toward the cube centre by Overlap.
+		center := make([]float64, inf)
+		for k := 0; k < inf; k++ {
+			center[k] = 0.15 + 0.7*rng.Float64()
+			center[k] = center[k]*(1-spec.Overlap) + 0.5*spec.Overlap
+		}
+		modes := make([]mode, spec.ModesPerClass)
+		weights := make([]float64, spec.ModesPerClass)
+		for m := range modes {
+			mean := make([]float64, inf)
+			sigma := make([]float64, inf)
+			for k := 0; k < inf; k++ {
+				if spec.DominantWeight > 0 && m == 0 {
+					// Primary mode sits at the class centre.
+					mean[k] = clamp01(center[k] + rng.NormFloat64()*0.02)
+				} else if spec.DominantWeight > 0 {
+					// Satellites scatter across the cube, interleaving
+					// with other classes' satellites.
+					v := 0.1 + 0.8*rng.Float64()
+					mean[k] = v*(1-spec.Overlap) + 0.5*spec.Overlap
+				} else {
+					mean[k] = clamp01(center[k] + rng.NormFloat64()*spec.ModeSpread)
+				}
+				sigma[k] = spec.Spread * (0.5 + rng.Float64())
+			}
+			modes[m] = mode{mean: mean, sigma: sigma}
+			if spec.DominantWeight > 0 {
+				if m == 0 {
+					weights[m] = spec.DominantWeight
+				} else {
+					weights[m] = (1 - spec.DominantWeight) / float64(spec.ModesPerClass-1)
+				}
+			} else {
+				weights[m] = 1 / float64(spec.ModesPerClass)
+			}
+		}
+		classModes[c] = modes
+		modeWeights[c] = weights
+	}
+
+	ds := &Dataset{Name: spec.Name, X: make([][]float64, spec.Size), Y: make([]int, spec.Size)}
+	for i := 0; i < spec.Size; i++ {
+		c := sampleDiscrete(priors, rng)
+		m := classModes[c][sampleDiscrete(modeWeights[c], rng)]
+		x := make([]float64, spec.Features)
+		for k := 0; k < inf; k++ {
+			v := m.mean[k] + rng.NormFloat64()*m.sigma[k]
+			x[k] = clamp01(v)
+		}
+		for k := inf; k < spec.Features; k++ {
+			x[k] = rng.Float64()
+		}
+		ds.X[i] = x
+		ds.Y[i] = c
+	}
+	return ds, nil
+}
+
+func sampleDiscrete(w []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var acc float64
+	for i, v := range w {
+		acc += v
+		if u <= acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// The four named generators mirror Table 1 of the paper (size, classes,
+// features); the multimodality/overlap/skew settings are chosen so that
+// the anytime accuracy regimes resemble the paper's figures: Pendigits
+// fairly easy (≈0.95 plateau), Letter many-class and harder, Gender a
+// heavily overlapping 2-class problem, Covertype skewed with moderate
+// overlap. scale in (0, 1] shrinks the data set proportionally for quick
+// runs; scale = 1 reproduces the Table 1 sizes.
+
+// Pendigits returns the synthetic stand-in for the UCI Pendigits data set
+// (10 992 × 16 features × 10 classes): moderately hard, a steep anytime
+// rise to a high plateau as in Figure 2.
+func Pendigits(scale float64) (*Dataset, error) {
+	return Synthetic(SyntheticSpec{
+		Name: "pendigits", Size: scaled(10992, scale), Classes: 10, Features: 16,
+		ModesPerClass: 5, Spread: 0.10, Overlap: 0.40, DominantWeight: 0.45, Seed: 420001,
+	})
+}
+
+// Letter returns the synthetic stand-in for UCI Letter (20 000 × 16 × 26):
+// many confusable classes, the regime where the paper reports the largest
+// bulk-loading gains (Figure 3).
+func Letter(scale float64) (*Dataset, error) {
+	return Synthetic(SyntheticSpec{
+		Name: "letter", Size: scaled(20000, scale), Classes: 26, Features: 16,
+		ModesPerClass: 4, Spread: 0.10, Overlap: 0.42, DominantWeight: 0.40, Seed: 420002,
+	})
+}
+
+// Gender returns the synthetic stand-in for the physiological-data-modeling
+// Gender task (189 961 × 9 × 2) — a heavily overlapping two-class problem
+// with noise dimensions and a flat, oscillation-prone anytime curve
+// (Figure 4 top).
+func Gender(scale float64) (*Dataset, error) {
+	return Synthetic(SyntheticSpec{
+		Name: "gender", Size: scaled(189961, scale), Classes: 2, Features: 9,
+		ModesPerClass: 8, Spread: 0.13, Overlap: 0.50, DominantWeight: 0.30,
+		NoiseDims: 2, Seed: 420003,
+	})
+}
+
+// Covertype returns the synthetic stand-in for UCI Covertype
+// (581 012 × 10 × 7) — skewed class priors and moderate overlap
+// (Figure 4 bottom).
+func Covertype(scale float64) (*Dataset, error) {
+	return Synthetic(SyntheticSpec{
+		Name: "covertype", Size: scaled(581012, scale), Classes: 7, Features: 10,
+		ModesPerClass: 6, Spread: 0.10, Overlap: 0.40, DominantWeight: 0.40,
+		Skew: 0.8, NoiseDims: 1, Seed: 420004,
+	})
+}
+
+func scaled(full int, scale float64) int {
+	if scale <= 0 || scale >= 1 {
+		return full
+	}
+	n := int(math.Round(scale * float64(full)))
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// ByName returns the Table 1 stand-in with the given name at the given
+// scale.
+func ByName(name string, scale float64) (*Dataset, error) {
+	switch name {
+	case "pendigits":
+		return Pendigits(scale)
+	case "letter":
+		return Letter(scale)
+	case "gender":
+		return Gender(scale)
+	case "covertype":
+		return Covertype(scale)
+	}
+	return nil, fmt.Errorf("dataset: unknown data set %q (want pendigits|letter|gender|covertype)", name)
+}
+
+// TableInfo describes one Table 1 row.
+type TableInfo struct {
+	Name     string
+	Size     int
+	Classes  int
+	Features int
+	Ref      string
+}
+
+// Table1 returns the paper's data set inventory (Table 1).
+func Table1() []TableInfo {
+	return []TableInfo{
+		{Name: "Pendigits", Size: 10992, Classes: 10, Features: 16, Ref: "[12]"},
+		{Name: "Letter", Size: 20000, Classes: 26, Features: 16, Ref: "[12]"},
+		{Name: "Gender", Size: 189961, Classes: 2, Features: 9, Ref: "[19]"},
+		{Name: "Covertype", Size: 581012, Classes: 7, Features: 10, Ref: "[12]"},
+	}
+}

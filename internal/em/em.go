@@ -1,0 +1,360 @@
+// Package em implements the expectation-maximisation algorithm for
+// Gaussian mixture models with diagonal covariances (Dempster, Laird &
+// Rubin [8]), the machine-learning workhorse behind the paper's EMTopDown
+// bulk loading (Section 3.1). It also exposes the k-means++ seeding and a
+// plain k-means fallback used when EM degenerates.
+package em
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bayestree/internal/stats"
+)
+
+// Options configures a fit.
+type Options struct {
+	// K is the requested number of components (the bulk loader passes the
+	// tree fanout M).
+	K int
+	// MaxIters bounds the EM loop; zero means 100.
+	MaxIters int
+	// Tol is the relative log-likelihood improvement below which the loop
+	// stops; zero means 1e-4.
+	Tol float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// MinWeight is the responsibility mass below which a component is
+	// dropped (components that explain almost nothing). Zero means 1e-6·n.
+	MinWeight float64
+}
+
+// Result is a fitted mixture plus hard assignments of the input points.
+type Result struct {
+	Weights    []float64
+	Comps      []stats.Gaussian
+	Assign     []int     // hard assignment per input point
+	LogLik     float64   // final total log-likelihood
+	LogLikPath []float64 // per-iteration log-likelihood (monotone non-decreasing)
+	Iters      int
+}
+
+// K returns the number of surviving components.
+func (r *Result) K() int { return len(r.Comps) }
+
+// Clusters groups the input indices by their hard assignment; empty
+// clusters are omitted.
+func (r *Result) Clusters() [][]int {
+	buckets := make(map[int][]int)
+	for i, a := range r.Assign {
+		buckets[a] = append(buckets[a], i)
+	}
+	out := make([][]int, 0, len(buckets))
+	for j := 0; j < len(r.Comps); j++ {
+		if len(buckets[j]) > 0 {
+			out = append(out, buckets[j])
+		}
+	}
+	return out
+}
+
+// Fit runs EM on the points. It may return fewer than K components when
+// some collapse (the paper relies on this: "If the EM returns less than m
+// clusters, the biggest resulting cluster is split again"). It returns an
+// error only for unusable inputs; numerical degeneracies are handled by
+// dropping components.
+func Fit(points [][]float64, opts Options) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("em: no points")
+	}
+	d := len(points[0])
+	if d == 0 {
+		return nil, fmt.Errorf("em: zero-dimensional points")
+	}
+	k := opts.K
+	if k < 1 {
+		return nil, fmt.Errorf("em: K must be ≥ 1, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	minWeight := opts.MinWeight
+	if minWeight <= 0 {
+		minWeight = 1e-6 * float64(n)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Seed with k-means++ centres and a shared initial variance.
+	centers := kMeansPlusPlus(points, k, rng)
+	globalVar := globalVariance(points, d)
+	comps := make([]stats.Gaussian, k)
+	weights := make([]float64, k)
+	for j := 0; j < k; j++ {
+		comps[j] = stats.Gaussian{Mean: append([]float64(nil), centers[j]...), Var: append([]float64(nil), globalVar...)}
+		weights[j] = 1 / float64(k)
+	}
+
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	logs := make([]float64, k)
+	var path []float64
+	prevLL := math.Inf(-1)
+	iters := 0
+	for iters < maxIters {
+		iters++
+		// E step.
+		var ll float64
+		for i, x := range points {
+			for j := 0; j < k; j++ {
+				if weights[j] <= 0 {
+					logs[j] = math.Inf(-1)
+					continue
+				}
+				logs[j] = math.Log(weights[j]) + comps[j].LogPDF(x)
+			}
+			lse := stats.LogSumExp(logs)
+			ll += lse
+			for j := 0; j < k; j++ {
+				if math.IsInf(logs[j], -1) {
+					resp[i][j] = 0
+				} else {
+					resp[i][j] = math.Exp(logs[j] - lse)
+				}
+			}
+		}
+		path = append(path, ll)
+		// M step.
+		for j := 0; j < k; j++ {
+			var nj float64
+			for i := 0; i < n; i++ {
+				nj += resp[i][j]
+			}
+			if nj < minWeight {
+				weights[j] = 0 // drop degenerate component
+				continue
+			}
+			mean := make([]float64, d)
+			for i, x := range points {
+				r := resp[i][j]
+				if r == 0 {
+					continue
+				}
+				for c := 0; c < d; c++ {
+					mean[c] += r * x[c]
+				}
+			}
+			for c := 0; c < d; c++ {
+				mean[c] /= nj
+			}
+			variance := make([]float64, d)
+			for i, x := range points {
+				r := resp[i][j]
+				if r == 0 {
+					continue
+				}
+				for c := 0; c < d; c++ {
+					dm := x[c] - mean[c]
+					variance[c] += r * dm * dm
+				}
+			}
+			for c := 0; c < d; c++ {
+				variance[c] /= nj
+				if variance[c] < stats.VarianceFloor {
+					variance[c] = stats.VarianceFloor
+				}
+			}
+			weights[j] = nj / float64(n)
+			comps[j] = stats.Gaussian{Mean: mean, Var: variance}
+		}
+		renormalize(weights)
+		if ll-prevLL <= tol*math.Max(1, math.Abs(prevLL)) && iters > 1 {
+			prevLL = math.Max(prevLL, ll)
+			break
+		}
+		prevLL = ll
+	}
+
+	// Compact out dropped components and compute hard assignments.
+	keep := make([]int, 0, k)
+	for j := 0; j < k; j++ {
+		if weights[j] > 0 {
+			keep = append(keep, j)
+		}
+	}
+	if len(keep) == 0 {
+		// Total collapse: model everything with one component.
+		cf := stats.CFOfAll(points, d)
+		g := cf.Gaussian()
+		res := &Result{
+			Weights: []float64{1},
+			Comps:   []stats.Gaussian{g},
+			Assign:  make([]int, n),
+			LogLik:  prevLL, LogLikPath: path, Iters: iters,
+		}
+		return res, nil
+	}
+	remap := make(map[int]int, len(keep))
+	outW := make([]float64, len(keep))
+	outC := make([]stats.Gaussian, len(keep))
+	for newJ, oldJ := range keep {
+		remap[oldJ] = newJ
+		outW[newJ] = weights[oldJ]
+		outC[newJ] = comps[oldJ]
+	}
+	renormalize(outW)
+	assign := make([]int, n)
+	for i := range points {
+		best, bestV := keep[0], math.Inf(-1)
+		for _, j := range keep {
+			v := resp[i][j]
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		assign[i] = remap[best]
+	}
+	return &Result{Weights: outW, Comps: outC, Assign: assign, LogLik: prevLL, LogLikPath: path, Iters: iters}, nil
+}
+
+func renormalize(w []float64) {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	if s <= 0 {
+		return
+	}
+	for i := range w {
+		w[i] /= s
+	}
+}
+
+// kMeansPlusPlus picks k starting centres with the k-means++ D² weighting.
+func kMeansPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	first := points[rng.Intn(n)]
+	centers = append(centers, first)
+	d2 := make([]float64, n)
+	for i, x := range points {
+		d2[i] = sqDist(x, first)
+	}
+	for len(centers) < k {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		var next []float64
+		if total <= 0 {
+			next = points[rng.Intn(n)]
+		} else {
+			u := rng.Float64() * total
+			var acc float64
+			idx := n - 1
+			for i, v := range d2 {
+				acc += v
+				if u <= acc {
+					idx = i
+					break
+				}
+			}
+			next = points[idx]
+		}
+		centers = append(centers, next)
+		for i, x := range points {
+			if d := sqDist(x, next); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// globalVariance returns the per-dimension variance of all points, used as
+// the initial covariance for every component.
+func globalVariance(points [][]float64, d int) []float64 {
+	cf := stats.CFOfAll(points, d)
+	return cf.Variance()
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding and returns hard
+// assignments and centres. It is used as a splitting fallback and directly
+// tested as a substrate.
+func KMeans(points [][]float64, k int, maxIters int, seed int64) (assign []int, centers [][]float64) {
+	n := len(points)
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers = kMeansPlusPlus(points, k, rng)
+	assign = make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, x := range points {
+			best, bestD := 0, math.Inf(1)
+			for j, c := range centers {
+				if d := sqDist(x, c); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		d := len(points[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for j := range sums {
+			sums[j] = make([]float64, d)
+		}
+		for i, x := range points {
+			j := assign[i]
+			counts[j]++
+			for c := 0; c < d; c++ {
+				sums[j][c] += x[c]
+			}
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] == 0 {
+				centers[j] = points[rng.Intn(n)]
+				continue
+			}
+			for c := 0; c < d; c++ {
+				sums[j][c] /= float64(counts[j])
+			}
+			centers[j] = sums[j]
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, centers
+}

@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"bayestree/internal/bulkload"
+	"bayestree/internal/core"
+	"bayestree/internal/dataset"
+)
+
+// Experiment is one table or figure of the paper's evaluation, with
+// everything needed to regenerate it.
+type Experiment struct {
+	// ID is the paper artefact ("table1", "fig2", "fig3", "fig4a",
+	// "fig4b").
+	ID string
+	// Title describes the artefact.
+	Title string
+	// Dataset names the Table 1 data set (empty for table1 itself).
+	Dataset string
+	// Scale shrinks the data set for tractable runs; 1 = paper size.
+	Scale float64
+	// Loaders are the bulk-loading strategies compared.
+	Loaders []string
+	// Strategies are the descent strategies plotted (fig4 compares glo
+	// and bft).
+	Strategies []core.Strategy
+	// MaxNodes and Folds follow the paper (100 and 4).
+	MaxNodes, Folds int
+	// Expect summarises the paper's qualitative result, recorded in the
+	// run output so EXPERIMENTS.md can quote both sides.
+	Expect string
+}
+
+// Experiments returns all paper artefacts in order. The default scales
+// keep full runs of the two large data sets tractable on a laptop; pass
+// scale = 1 to Run for paper-size populations.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID: "table1", Title: "Table 1: data sets used in the experiments",
+			Expect: "inventory only",
+		},
+		{
+			ID: "fig2", Title: "Figure 2: anytime accuracy on pendigits per bulk loading",
+			Dataset: "pendigits", Scale: 1,
+			Loaders:    []string{"emtopdown", "hilbert", "goldberger", "iterative"},
+			Strategies: []core.Strategy{core.DescentGlobal},
+			MaxNodes:   100, Folds: 4,
+			Expect: "EMTopDown best (≈ +3% over Iterativ), Hilbert ≥ Iterativ, Goldberger ≤ Iterativ early",
+		},
+		{
+			ID: "fig3", Title: "Figure 3: anytime accuracy on letter per bulk loading",
+			Dataset: "letter", Scale: 1,
+			Loaders:    []string{"emtopdown", "hilbert", "goldberger", "iterative"},
+			Strategies: []core.Strategy{core.DescentGlobal},
+			MaxNodes:   100, Folds: 4,
+			Expect: "EMTopDown best (up to +13%), Hilbert ≈ Iterativ, Goldberger ≥ Iterativ for large budgets",
+		},
+		{
+			ID: "fig4a", Title: "Figure 4 (top): anytime accuracy on gender, glo vs bft",
+			Dataset: "gender", Scale: 0.1,
+			Loaders:    []string{"emtopdown", "hilbert", "iterative"},
+			Strategies: []core.Strategy{core.DescentGlobal, core.DescentBFT},
+			MaxNodes:   100, Folds: 4,
+			Expect: "bulk loading beats Iterativ; glo ≥ bft but may oscillate",
+		},
+		{
+			ID: "fig4b", Title: "Figure 4 (bottom): anytime accuracy on covertype, glo vs bft",
+			Dataset: "covertype", Scale: 0.04,
+			Loaders:    []string{"emtopdown", "hilbert", "iterative"},
+			Strategies: []core.Strategy{core.DescentGlobal, core.DescentBFT},
+			MaxNodes:   100, Folds: 4,
+			Expect: "bulk loading beats Iterativ; glo ≥ bft but may oscillate",
+		},
+	}
+}
+
+// ExperimentByID returns the experiment with the given ID.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the experiment and writes its table/plot to w. scale
+// overrides the experiment's default data set scale when > 0. It returns
+// the measured curves (nil for table1).
+func (e Experiment) Run(w io.Writer, scale float64, seed int64) ([]*Curve, error) {
+	fmt.Fprintf(w, "== %s ==\n", e.Title)
+	if e.ID == "table1" {
+		fmt.Fprintf(w, "%-12s %10s %8s %9s %6s\n", "name", "size", "classes", "features", "ref")
+		for _, row := range dataset.Table1() {
+			fmt.Fprintf(w, "%-12s %10d %8d %9d %6s\n", row.Name, row.Size, row.Classes, row.Features, row.Ref)
+		}
+		return nil, nil
+	}
+	if scale <= 0 {
+		scale = e.Scale
+	}
+	ds, err := dataset.ByName(e.Dataset, scale)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "dataset %s: %d observations, %d classes, %d features (scale %.3g)\n",
+		ds.Name, ds.Len(), len(ds.Classes()), ds.Dim(), scale)
+	fmt.Fprintf(w, "paper expectation: %s\n", e.Expect)
+
+	var curves []*Curve
+	for _, strat := range e.Strategies {
+		for _, name := range e.Loaders {
+			loader, ok := bulkload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("eval: unknown loader %q", name)
+			}
+			opts := CurveOptions{
+				Folds:    e.Folds,
+				MaxNodes: e.MaxNodes,
+				Seed:     seed,
+				Classifier: core.ClassifierOptions{
+					Strategy: strat,
+					Priority: core.PriorityProbabilistic,
+				},
+			}
+			c, err := AnytimeCurve(ds, loader, opts)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s/%s: %w", name, strat, err)
+			}
+			if len(e.Strategies) > 1 {
+				c.Name = fmt.Sprintf("%s %s", c.Name, strat)
+			}
+			curves = append(curves, c)
+			fmt.Fprintf(w, "  %-18s final=%.4f mean=%.4f build=%s\n", c.Name, c.Final(), c.Mean(), c.BuildTime.Round(1e6))
+		}
+	}
+	if err := PlotCurves(w, e.Title, curves); err != nil {
+		return nil, err
+	}
+	CurveTable(w, curves, []int{0, 5, 10, 20, 50, 100})
+	return curves, nil
+}

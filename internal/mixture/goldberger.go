@@ -1,0 +1,292 @@
+package mixture
+
+import (
+	"fmt"
+	"math"
+
+	"bayestree/internal/sfc"
+	"bayestree/internal/stats"
+)
+
+// ReduceResult carries the outcome of a Goldberger reduction: the coarser
+// model g, the final assignment π of fine components to coarse components,
+// and the final distance d(f, g).
+type ReduceResult struct {
+	Model    *Model
+	Pi       []int
+	Distance float64
+	Iters    int
+}
+
+// ReduceOptions tunes the Goldberger regroup/refit iteration.
+type ReduceOptions struct {
+	// MaxIters bounds the regroup/refit loop (the loop also stops as soon
+	// as the distance no longer decreases). Zero means the default of 50.
+	MaxIters int
+	// Tol is the minimum relative distance improvement to continue.
+	Tol float64
+	// GroupSize is the number of fine components initially mapped to each
+	// coarse component in z-curve order (the paper uses ⌈0.75·M⌉ where M
+	// is the fanout). Zero derives it from the component counts.
+	GroupSize int
+	// SFCBits is the quantisation precision for the z-curve initial
+	// mapping; zero means 10 bits per dimension.
+	SFCBits int
+}
+
+func (o *ReduceOptions) defaults() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.SFCBits <= 0 {
+		o.SFCBits = 10
+	}
+}
+
+// Reduce approximates the fine mixture f (r components) by a coarser
+// mixture with s components following Goldberger & Roweis [10], as adapted
+// by the paper for bulk loading:
+//
+//  1. initial mapping π₀ groups fine components in z-curve order of their
+//     means, GroupSize per coarse component;
+//  2. regroup: π(i) = argmin_j KL(f_i, g_j);
+//  3. refit: β_j = Σ α_i, μ_j = weighted mean, σ_j² = weighted second
+//     moment around μ_j (the moment-preserving merge);
+//
+// repeated until d(f, g) stops decreasing. Empty coarse components are
+// reseeded from the worst-approximated fine component, so the result always
+// has exactly s non-empty components (unless s ≥ r, in which case f is
+// returned unchanged).
+func Reduce(f *Model, s int, opts ReduceOptions) (*ReduceResult, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("mixture: target size %d", s)
+	}
+	r := f.Len()
+	if s >= r {
+		pi := make([]int, r)
+		for i := range pi {
+			pi[i] = i
+		}
+		cp, err := New(f.Weights, f.Comps)
+		if err != nil {
+			return nil, err
+		}
+		return &ReduceResult{Model: cp, Pi: pi, Distance: 0}, nil
+	}
+	opts.defaults()
+
+	pi, err := initialMapping(f, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	g, err := refit(f, pi, s)
+	if err != nil {
+		return nil, err
+	}
+	prev := Distance(f, g)
+	iters := 0
+	for iters < opts.MaxIters {
+		iters++
+		changed := regroup(f, g, pi)
+		reseedEmpty(f, g, pi, s)
+		g, err = refit(f, pi, s)
+		if err != nil {
+			return nil, err
+		}
+		d := Distance(f, g)
+		if !changed || d >= prev-opts.Tol*math.Max(1, math.Abs(prev)) {
+			prev = math.Min(prev, d)
+			break
+		}
+		prev = d
+	}
+	return &ReduceResult{Model: g, Pi: pi, Distance: prev, Iters: iters}, nil
+}
+
+// initialMapping computes π₀ by sorting component means along the z-curve
+// and cutting the order into s contiguous groups of roughly GroupSize.
+func initialMapping(f *Model, s int, opts ReduceOptions) ([]int, error) {
+	r := f.Len()
+	means := make([][]float64, r)
+	for i, c := range f.Comps {
+		means[i] = c.Mean
+	}
+	order, err := sfc.SortByCurve(means, f.Dim(), opts.SFCBits, sfc.ZOrder)
+	if err != nil {
+		return nil, err
+	}
+	group := opts.GroupSize
+	if group <= 0 {
+		group = (r + s - 1) / s
+	}
+	pi := make([]int, r)
+	for rank, idx := range order {
+		j := rank / group
+		if j >= s {
+			j = s - 1
+		}
+		pi[idx] = j
+	}
+	return pi, nil
+}
+
+// regroup reassigns each fine component to its KL-closest coarse component
+// and reports whether any assignment changed.
+func regroup(f, g *Model, pi []int) bool {
+	changed := false
+	for i, fc := range f.Comps {
+		best, bestKL := pi[i], math.Inf(1)
+		for j, gc := range g.Comps {
+			if g.Weights[j] <= 0 {
+				continue
+			}
+			if kl := stats.KL(fc, gc); kl < bestKL {
+				best, bestKL = j, kl
+			}
+		}
+		if best != pi[i] {
+			pi[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+// reseedEmpty keeps all s coarse slots alive: any slot that lost all its
+// fine components is reseeded with the fine component worst approximated by
+// its current coarse assignment.
+func reseedEmpty(f, g *Model, pi []int, s int) {
+	count := make([]int, s)
+	for _, j := range pi {
+		count[j]++
+	}
+	for j := 0; j < s; j++ {
+		if count[j] > 0 {
+			continue
+		}
+		worst, worstKL := -1, -1.0
+		for i, fc := range f.Comps {
+			if count[pi[i]] <= 1 {
+				continue // do not orphan another slot
+			}
+			kl := stats.KL(fc, g.Comps[pi[i]])
+			if kl > worstKL {
+				worst, worstKL = i, kl
+			}
+		}
+		if worst >= 0 {
+			count[pi[worst]]--
+			pi[worst] = j
+			count[j] = 1
+		}
+	}
+}
+
+// refit recomputes the coarse model from the assignment π with the
+// moment-preserving updates of the paper:
+//
+//	β_j = Σ_{π(i)=j} α_i
+//	μ_j = (1/β_j) Σ α_i μ_i
+//	σ_j² = (1/β_j) Σ α_i (σ_i² + (μ_i − μ_j)²)
+func refit(f *Model, pi []int, s int) (*Model, error) {
+	d := f.Dim()
+	beta := make([]float64, s)
+	mu := make([][]float64, s)
+	for j := range mu {
+		mu[j] = make([]float64, d)
+	}
+	for i, c := range f.Comps {
+		j := pi[i]
+		a := f.Weights[i]
+		beta[j] += a
+		for k := 0; k < d; k++ {
+			mu[j][k] += a * c.Mean[k]
+		}
+	}
+	for j := 0; j < s; j++ {
+		if beta[j] <= 0 {
+			continue
+		}
+		for k := 0; k < d; k++ {
+			mu[j][k] /= beta[j]
+		}
+	}
+	va := make([][]float64, s)
+	for j := range va {
+		va[j] = make([]float64, d)
+	}
+	for i, c := range f.Comps {
+		j := pi[i]
+		a := f.Weights[i]
+		for k := 0; k < d; k++ {
+			dm := c.Mean[k] - mu[j][k]
+			va[j][k] += a * (c.Var[k] + dm*dm)
+		}
+	}
+	weights := make([]float64, 0, s)
+	comps := make([]stats.Gaussian, 0, s)
+	for j := 0; j < s; j++ {
+		if beta[j] <= 0 {
+			// Placeholder to keep indexing stable; weight 0 excludes it
+			// from densities and regroup.
+			weights = append(weights, 0)
+			comps = append(comps, stats.Gaussian{Mean: make([]float64, d), Var: onesVar(d)})
+			continue
+		}
+		v := make([]float64, d)
+		for k := 0; k < d; k++ {
+			v[k] = va[j][k] / beta[j]
+			if v[k] < stats.VarianceFloor {
+				v[k] = stats.VarianceFloor
+			}
+		}
+		weights = append(weights, beta[j])
+		comps = append(comps, stats.Gaussian{Mean: mu[j], Var: v})
+	}
+	m := &Model{Weights: weights, Comps: comps}
+	var sum float64
+	for _, w := range m.Weights {
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("mixture: refit produced empty model")
+	}
+	for i := range m.Weights {
+		m.Weights[i] /= sum
+	}
+	return m, nil
+}
+
+func onesVar(d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// MergeGaussians returns the moment-preserving merge of two weighted
+// Gaussians — the refit formulas specialised to two components. Exposed
+// because the bulk loader's undersize-node post-processing merges nodes
+// pairwise.
+func MergeGaussians(wa float64, a stats.Gaussian, wb float64, b stats.Gaussian) (float64, stats.Gaussian) {
+	w := wa + wb
+	d := a.Dim()
+	mean := make([]float64, d)
+	for k := 0; k < d; k++ {
+		mean[k] = (wa*a.Mean[k] + wb*b.Mean[k]) / w
+	}
+	variance := make([]float64, d)
+	for k := 0; k < d; k++ {
+		da := a.Mean[k] - mean[k]
+		db := b.Mean[k] - mean[k]
+		variance[k] = (wa*(a.Var[k]+da*da) + wb*(b.Var[k]+db*db)) / w
+		if variance[k] < stats.VarianceFloor {
+			variance[k] = stats.VarianceFloor
+		}
+	}
+	return w, stats.Gaussian{Mean: mean, Var: variance}
+}

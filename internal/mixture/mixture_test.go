@@ -1,0 +1,309 @@
+package mixture
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bayestree/internal/stats"
+)
+
+func twoComponent(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(
+		[]float64{0.3, 0.7},
+		[]stats.Gaussian{
+			{Mean: []float64{0, 0}, Var: []float64{1, 1}},
+			{Mean: []float64{5, 5}, Var: []float64{2, 0.5}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	g := stats.Gaussian{Mean: []float64{0}, Var: []float64{1}}
+	if _, err := New([]float64{1, 1}, []stats.Gaussian{g}); err == nil {
+		t.Errorf("weight/component mismatch accepted")
+	}
+	if _, err := New(nil, nil); err == nil {
+		t.Errorf("empty model accepted")
+	}
+	if _, err := New([]float64{-1}, []stats.Gaussian{g}); err == nil {
+		t.Errorf("negative weight accepted")
+	}
+	g2 := stats.Gaussian{Mean: []float64{0, 0}, Var: []float64{1, 1}}
+	if _, err := New([]float64{1, 1}, []stats.Gaussian{g, g2}); err == nil {
+		t.Errorf("mixed dimensions accepted")
+	}
+	m, err := New([]float64{2, 6}, []stats.Gaussian{g, g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-0.25) > 1e-12 {
+		t.Errorf("weights not normalised: %v", m.Weights)
+	}
+}
+
+func TestPDFMatchesManualSum(t *testing.T) {
+	m := twoComponent(t)
+	x := []float64{1, 2}
+	want := 0.3*m.Comps[0].PDF(x) + 0.7*m.Comps[1].PDF(x)
+	if got := m.PDF(x); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("PDF = %v, want %v", got, want)
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	m := twoComponent(t)
+	rng := rand.New(rand.NewSource(1))
+	xs := m.Sample(20000, rng)
+	cf := stats.CFOfAll(xs, 2)
+	mean := cf.Mean()
+	// E[x] = 0.3·0 + 0.7·5 = 3.5 per dimension.
+	if math.Abs(mean[0]-3.5) > 0.1 || math.Abs(mean[1]-3.5) > 0.1 {
+		t.Errorf("sample mean = %v, want ≈ (3.5, 3.5)", mean)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	m := twoComponent(t)
+	if d := Distance(m, m); math.Abs(d) > 1e-9 {
+		t.Errorf("d(f,f) = %v, want 0", d)
+	}
+	// Distance to a worse model is positive.
+	coarse, err := New([]float64{1}, []stats.Gaussian{{Mean: []float64{2.5, 2.5}, Var: []float64{5, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Distance(m, coarse); d <= 0 {
+		t.Errorf("d(f,coarse) = %v, want > 0", d)
+	}
+}
+
+func TestFromCFs(t *testing.T) {
+	cfA := stats.CFOfAll([][]float64{{0}, {2}}, 1)
+	cfB := stats.CFOfAll([][]float64{{10}, {12}, {14}}, 1)
+	m, err := FromCFs([]stats.CF{cfA, cfB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-0.4) > 1e-12 || math.Abs(m.Weights[1]-0.6) > 1e-12 {
+		t.Errorf("weights = %v, want (0.4, 0.6)", m.Weights)
+	}
+	if m.Comps[1].Mean[0] != 12 {
+		t.Errorf("mean = %v", m.Comps[1].Mean)
+	}
+	if _, err := FromCFs(nil); err == nil {
+		t.Errorf("empty CFs accepted")
+	}
+}
+
+// buildFine builds a fine mixture of k well-separated groups of small
+// components; reduction to k components should land near group centres.
+func buildFine(t *testing.T, groups, perGroup int, seed int64) (*Model, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var weights []float64
+	var comps []stats.Gaussian
+	var centers [][]float64
+	for g := 0; g < groups; g++ {
+		cx, cy := float64(g*10), float64((g%2)*10)
+		centers = append(centers, []float64{cx, cy})
+		for i := 0; i < perGroup; i++ {
+			comps = append(comps, stats.Gaussian{
+				Mean: []float64{cx + rng.NormFloat64()*0.3, cy + rng.NormFloat64()*0.3},
+				Var:  []float64{0.1, 0.1},
+			})
+			weights = append(weights, 1)
+		}
+	}
+	m, err := New(weights, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, centers
+}
+
+func TestReduceBasics(t *testing.T) {
+	fine, centers := buildFine(t, 3, 20, 1)
+	res, err := Reduce(fine, 3, ReduceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Len() != 3 {
+		t.Fatalf("reduced to %d components, want 3", res.Model.Len())
+	}
+	if len(res.Pi) != fine.Len() {
+		t.Fatalf("pi length %d", len(res.Pi))
+	}
+	// Every coarse component sits near one true centre.
+	for _, c := range res.Model.Comps {
+		best := math.Inf(1)
+		for _, ctr := range centers {
+			d := math.Hypot(c.Mean[0]-ctr[0], c.Mean[1]-ctr[1])
+			best = math.Min(best, d)
+		}
+		if best > 1.5 {
+			t.Errorf("coarse component at %v far from all centres", c.Mean)
+		}
+	}
+	// Weights normalised.
+	var sum float64
+	for _, w := range res.Model.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum %v", sum)
+	}
+}
+
+func TestReducePiConsistent(t *testing.T) {
+	fine, _ := buildFine(t, 4, 10, 2)
+	res, err := Reduce(fine, 4, ReduceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range res.Pi {
+		if j < 0 || j >= res.Model.Len() {
+			t.Fatalf("pi[%d] = %d out of range", i, j)
+		}
+	}
+	// Components of one tight group map to the same coarse component.
+	for g := 0; g < 4; g++ {
+		first := res.Pi[g*10]
+		for i := 1; i < 10; i++ {
+			if res.Pi[g*10+i] != first {
+				t.Fatalf("group %d split across coarse components", g)
+			}
+		}
+	}
+}
+
+func TestReduceDistanceImproves(t *testing.T) {
+	fine, _ := buildFine(t, 5, 12, 3)
+	// One iteration vs several: more iterations must not be worse.
+	r1, err := Reduce(fine, 5, ReduceOptions{MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := Reduce(fine, 5, ReduceOptions{MaxIters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10.Distance > r1.Distance+1e-9 {
+		t.Errorf("more iterations worsened distance: %v → %v", r1.Distance, r10.Distance)
+	}
+}
+
+func TestReduceNoOpWhenTargetLarge(t *testing.T) {
+	fine, _ := buildFine(t, 2, 5, 4)
+	res, err := Reduce(fine, 100, ReduceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Len() != fine.Len() {
+		t.Fatalf("expected identity reduction, got %d", res.Model.Len())
+	}
+	if res.Distance != 0 {
+		t.Fatalf("identity distance = %v", res.Distance)
+	}
+	if _, err := Reduce(fine, 0, ReduceOptions{}); err == nil {
+		t.Errorf("s=0 accepted")
+	}
+}
+
+func TestMergeGaussiansMoments(t *testing.T) {
+	a := stats.Gaussian{Mean: []float64{0}, Var: []float64{1}}
+	b := stats.Gaussian{Mean: []float64{4}, Var: []float64{1}}
+	w, g := MergeGaussians(1, a, 1, b)
+	if w != 2 {
+		t.Fatalf("merged weight %v", w)
+	}
+	if math.Abs(g.Mean[0]-2) > 1e-12 {
+		t.Errorf("merged mean %v, want 2", g.Mean[0])
+	}
+	// Var = E[var] + Var[means] = 1 + 4.
+	if math.Abs(g.Var[0]-5) > 1e-12 {
+		t.Errorf("merged variance %v, want 5", g.Var[0])
+	}
+}
+
+func TestVirtualSampleReduces(t *testing.T) {
+	fine, centers := buildFine(t, 3, 15, 5)
+	res, err := VirtualSample(fine, 3, VirtualSampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Len() != 3 {
+		t.Fatalf("got %d components", res.Model.Len())
+	}
+	live := 0
+	for j, w := range res.Model.Weights {
+		if w > 0.05 {
+			live++
+			c := res.Model.Comps[j]
+			best := math.Inf(1)
+			for _, ctr := range centers {
+				best = math.Min(best, math.Hypot(c.Mean[0]-ctr[0], c.Mean[1]-ctr[1]))
+			}
+			if best > 1.5 {
+				t.Errorf("component %d at %v far from all centres", j, c.Mean)
+			}
+		}
+	}
+	if live < 3 {
+		t.Errorf("only %d live components", live)
+	}
+	if _, err := VirtualSample(fine, 0, VirtualSampleOptions{}); err == nil {
+		t.Errorf("s=0 accepted")
+	}
+	// Identity case.
+	res, err = VirtualSample(fine, fine.Len()+5, VirtualSampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Len() != fine.Len() {
+		t.Errorf("identity reduction failed")
+	}
+}
+
+func TestGoldbergerVsVirtualSampleDiffer(t *testing.T) {
+	// The two reducers are different algorithms; on an asymmetric input
+	// they should generally produce different coarse models. This guards
+	// against one accidentally delegating to the other.
+	rng := rand.New(rand.NewSource(9))
+	var weights []float64
+	var comps []stats.Gaussian
+	for i := 0; i < 40; i++ {
+		comps = append(comps, stats.Gaussian{
+			Mean: []float64{rng.Float64() * 10, rng.Float64() * 10},
+			Var:  []float64{0.05 + rng.Float64(), 0.05 + rng.Float64()},
+		})
+		weights = append(weights, 0.5+rng.Float64())
+	}
+	fine, err := New(weights, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Reduce(fine, 5, ReduceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VirtualSample(fine, 5, VirtualSampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range g.Model.Comps {
+		for k := range g.Model.Comps[j].Mean {
+			if math.Abs(g.Model.Comps[j].Mean[k]-v.Model.Comps[j].Mean[k]) > 1e-6 {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Errorf("Goldberger and VirtualSample produced identical models on asymmetric input")
+	}
+}

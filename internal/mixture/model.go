@@ -1,0 +1,151 @@
+// Package mixture implements Gaussian mixture models with diagonal
+// covariances and the two statistical model-reduction algorithms the paper
+// adapts for bulk loading (Section 3.1): the Goldberger/Roweis hierarchical
+// clustering of a mixture model [10] and the Vasconcelos/Lippman virtual
+// sampling approach [21].
+package mixture
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bayestree/internal/stats"
+)
+
+// Model is a finite mixture Σ w_j · N(μ_j, σ_j²) with diagonal Gaussian
+// components. Weights are kept normalised (summing to one) by the
+// constructors; Normalize restores the invariant after manual edits.
+type Model struct {
+	Weights []float64
+	Comps   []stats.Gaussian
+}
+
+// New builds a model from weights and components, normalising the weights.
+// It returns an error on dimension mismatches or non-positive total weight.
+func New(weights []float64, comps []stats.Gaussian) (*Model, error) {
+	if len(weights) != len(comps) {
+		return nil, fmt.Errorf("mixture: %d weights for %d components", len(weights), len(comps))
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("mixture: empty model")
+	}
+	d := comps[0].Dim()
+	for i, c := range comps {
+		if c.Dim() != d {
+			return nil, fmt.Errorf("mixture: component %d has dim %d, want %d", i, c.Dim(), d)
+		}
+	}
+	m := &Model{Weights: append([]float64(nil), weights...), Comps: append([]stats.Gaussian(nil), comps...)}
+	if err := m.Normalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Dim returns the dimensionality of the mixture.
+func (m *Model) Dim() int {
+	if len(m.Comps) == 0 {
+		return 0
+	}
+	return m.Comps[0].Dim()
+}
+
+// Len returns the number of components.
+func (m *Model) Len() int { return len(m.Comps) }
+
+// Normalize rescales the weights to sum to one.
+func (m *Model) Normalize() error {
+	var s float64
+	for _, w := range m.Weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("mixture: invalid weight %v", w)
+		}
+		s += w
+	}
+	if s <= 0 {
+		return fmt.Errorf("mixture: weights sum to %v", s)
+	}
+	for i := range m.Weights {
+		m.Weights[i] /= s
+	}
+	return nil
+}
+
+// LogPDF returns the log mixture density at x, computed stably.
+func (m *Model) LogPDF(x []float64) float64 {
+	logs := make([]float64, 0, len(m.Comps))
+	for i, c := range m.Comps {
+		if m.Weights[i] <= 0 {
+			continue
+		}
+		logs = append(logs, math.Log(m.Weights[i])+c.LogPDF(x))
+	}
+	return stats.LogSumExp(logs)
+}
+
+// PDF returns the mixture density at x.
+func (m *Model) PDF(x []float64) float64 { return math.Exp(m.LogPDF(x)) }
+
+// Sample draws n points from the mixture using the given source.
+func (m *Model) Sample(n int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	d := m.Dim()
+	for i := 0; i < n; i++ {
+		j := sampleIndex(m.Weights, rng)
+		c := m.Comps[j]
+		x := make([]float64, d)
+		for k := 0; k < d; k++ {
+			x[k] = c.Mean[k] + rng.NormFloat64()*math.Sqrt(c.Var[k])
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func sampleIndex(weights []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u <= acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Distance is the mixture distance of Definition 4:
+//
+//	d(f, g) = Σ_i α_i · min_j KL(f_i, g_j)
+//
+// measuring how well the coarser model g approximates the finer model f.
+func Distance(f, g *Model) float64 {
+	var d float64
+	for i, fc := range f.Comps {
+		best := math.Inf(1)
+		for _, gc := range g.Comps {
+			if kl := stats.KL(fc, gc); kl < best {
+				best = kl
+			}
+		}
+		d += f.Weights[i] * best
+	}
+	return d
+}
+
+// FromCFs builds a mixture whose components are the Gaussians of the given
+// cluster features, weighted by their counts — the "model at one tree
+// level" view used throughout the paper.
+func FromCFs(cfs []stats.CF) (*Model, error) {
+	if len(cfs) == 0 {
+		return nil, fmt.Errorf("mixture: no cluster features")
+	}
+	weights := make([]float64, len(cfs))
+	comps := make([]stats.Gaussian, len(cfs))
+	for i := range cfs {
+		weights[i] = cfs[i].N
+		comps[i] = cfs[i].Gaussian()
+	}
+	return New(weights, comps)
+}

@@ -1,0 +1,216 @@
+package mixture
+
+import (
+	"fmt"
+	"math"
+
+	"bayestree/internal/stats"
+)
+
+// VirtualSampleOptions tunes the Vasconcelos/Lippman mixture-hierarchy
+// learner [21], the second statistical bulk-loading approach the paper
+// adapted (and found inferior to Goldberger, which our experiments let you
+// verify).
+type VirtualSampleOptions struct {
+	// VirtualN is the total number of virtual samples the fine model is
+	// assumed to have generated. Zero means 1000.
+	VirtualN float64
+	// MaxIters bounds the EM loop; zero means 50.
+	MaxIters int
+	// Tol is the relative improvement threshold; zero means 1e-6.
+	Tol float64
+	// SFCBits controls the z-curve initial grouping; zero means 10.
+	SFCBits int
+}
+
+func (o *VirtualSampleOptions) defaults() {
+	if o.VirtualN <= 0 {
+		o.VirtualN = 1000
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.SFCBits <= 0 {
+		o.SFCBits = 10
+	}
+}
+
+// VirtualSample reduces the fine mixture f to s components using the
+// virtual-sampling EM of Vasconcelos & Lippman: each fine component i is
+// treated as a block of N_i = VirtualN·α_i virtual points at its sufficient
+// statistics, giving closed-form E and M steps on components instead of
+// data. Responsibilities are computed in the log domain; the M step is the
+// same moment-preserving refit as Goldberger's, weighted by soft
+// responsibilities instead of a hard mapping.
+func VirtualSample(f *Model, s int, opts VirtualSampleOptions) (*ReduceResult, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("mixture: target size %d", s)
+	}
+	r := f.Len()
+	if s >= r {
+		pi := make([]int, r)
+		for i := range pi {
+			pi[i] = i
+		}
+		cp, err := New(f.Weights, f.Comps)
+		if err != nil {
+			return nil, err
+		}
+		return &ReduceResult{Model: cp, Pi: pi, Distance: 0}, nil
+	}
+	opts.defaults()
+
+	pi, err := initialMapping(f, s, ReduceOptions{SFCBits: opts.SFCBits})
+	if err != nil {
+		return nil, err
+	}
+	g, err := refit(f, pi, s)
+	if err != nil {
+		return nil, err
+	}
+
+	d := f.Dim()
+	resp := make([][]float64, r) // responsibilities h_ij
+	for i := range resp {
+		resp[i] = make([]float64, s)
+	}
+	prevObj := math.Inf(-1)
+	iters := 0
+	for iters < opts.MaxIters {
+		iters++
+		// E step: log h_ij = log β_j + N_i [ log G(μ_i; μ_j, Σ_j)
+		//                                    − ½ Σ_k σ²_{i,k}/σ²_{j,k} ].
+		obj := 0.0
+		for i, fc := range f.Comps {
+			ni := opts.VirtualN * f.Weights[i]
+			if ni < 1 {
+				ni = 1
+			}
+			logs := make([]float64, s)
+			for j := 0; j < s; j++ {
+				if g.Weights[j] <= 0 {
+					logs[j] = math.Inf(-1)
+					continue
+				}
+				gc := g.Comps[j]
+				var trace float64
+				for k := 0; k < d; k++ {
+					vj := gc.Var[k]
+					if vj < stats.VarianceFloor {
+						vj = stats.VarianceFloor
+					}
+					trace += fc.Var[k] / vj
+				}
+				logs[j] = math.Log(g.Weights[j]) + ni*(gc.LogPDF(fc.Mean)-0.5*trace)
+			}
+			lse := stats.LogSumExp(logs)
+			obj += lse
+			for j := 0; j < s; j++ {
+				if math.IsInf(logs[j], -1) {
+					resp[i][j] = 0
+				} else {
+					resp[i][j] = math.Exp(logs[j] - lse)
+				}
+			}
+		}
+		// M step: soft moment-preserving refit.
+		g, err = softRefit(f, resp, s)
+		if err != nil {
+			return nil, err
+		}
+		if obj <= prevObj+opts.Tol*math.Max(1, math.Abs(prevObj)) {
+			break
+		}
+		prevObj = obj
+	}
+	// Harden the assignment for callers that need a mapping (bulk loading
+	// turns groups into nodes).
+	for i := range resp {
+		best, bestV := 0, -1.0
+		for j := 0; j < s; j++ {
+			if resp[i][j] > bestV {
+				best, bestV = j, resp[i][j]
+			}
+		}
+		pi[i] = best
+	}
+	return &ReduceResult{Model: g, Pi: pi, Distance: Distance(f, g), Iters: iters}, nil
+}
+
+// softRefit is the responsibility-weighted analogue of refit.
+func softRefit(f *Model, resp [][]float64, s int) (*Model, error) {
+	d := f.Dim()
+	beta := make([]float64, s)
+	mu := make([][]float64, s)
+	for j := range mu {
+		mu[j] = make([]float64, d)
+	}
+	for i, c := range f.Comps {
+		a := f.Weights[i]
+		for j := 0; j < s; j++ {
+			w := a * resp[i][j]
+			if w == 0 {
+				continue
+			}
+			beta[j] += w
+			for k := 0; k < d; k++ {
+				mu[j][k] += w * c.Mean[k]
+			}
+		}
+	}
+	for j := 0; j < s; j++ {
+		if beta[j] <= 0 {
+			continue
+		}
+		for k := 0; k < d; k++ {
+			mu[j][k] /= beta[j]
+		}
+	}
+	va := make([][]float64, s)
+	for j := range va {
+		va[j] = make([]float64, d)
+	}
+	for i, c := range f.Comps {
+		a := f.Weights[i]
+		for j := 0; j < s; j++ {
+			w := a * resp[i][j]
+			if w == 0 {
+				continue
+			}
+			for k := 0; k < d; k++ {
+				dm := c.Mean[k] - mu[j][k]
+				va[j][k] += w * (c.Var[k] + dm*dm)
+			}
+		}
+	}
+	weights := make([]float64, s)
+	comps := make([]stats.Gaussian, s)
+	var sum float64
+	for j := 0; j < s; j++ {
+		if beta[j] <= 0 {
+			weights[j] = 0
+			comps[j] = stats.Gaussian{Mean: make([]float64, d), Var: onesVar(d)}
+			continue
+		}
+		v := make([]float64, d)
+		for k := 0; k < d; k++ {
+			v[k] = va[j][k] / beta[j]
+			if v[k] < stats.VarianceFloor {
+				v[k] = stats.VarianceFloor
+			}
+		}
+		weights[j] = beta[j]
+		comps[j] = stats.Gaussian{Mean: mu[j], Var: v}
+		sum += beta[j]
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("mixture: soft refit produced empty model")
+	}
+	for j := range weights {
+		weights[j] /= sum
+	}
+	return &Model{Weights: weights, Comps: comps}, nil
+}

@@ -1,0 +1,126 @@
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bayestree/internal/mbr"
+)
+
+// BulkLoad builds a tree from items using sort-tile-recursive packing on
+// the rectangle centres (Leutenegger et al. [14]) — the same family of
+// algorithms Section 3.1 adapts for the Bayes tree, provided here for the
+// plain spatial index. The resulting tree is fully packed (≈100 % node
+// occupancy except the tail) and balanced.
+func BulkLoad[T any](cfg Config, items []Item[T]) (*Tree[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return New[T](cfg)
+	}
+	for i := range items {
+		if items[i].Rect.Dim() != cfg.Dim {
+			return nil, fmt.Errorf("rstar: item %d has dim %d, want %d", i, items[i].Rect.Dim(), cfg.Dim)
+		}
+		if err := items[i].Rect.Validate(); err != nil {
+			return nil, fmt.Errorf("rstar: item %d: %w", i, err)
+		}
+	}
+
+	// Leaf level: STR order, packed into leaves.
+	entries := make([]entry[T], len(items))
+	for i, it := range items {
+		entries[i] = entry[T]{rect: it.Rect.Clone(), item: Item[T]{Rect: it.Rect.Clone(), Value: it.Value}}
+	}
+	strSort(entries, cfg.Dim, cfg.MaxEntries)
+	nodes := packEntries(entries, cfg, 0, true)
+
+	// Upper levels.
+	level := 1
+	for len(nodes) > 1 {
+		parentEntries := make([]entry[T], len(nodes))
+		for i, n := range nodes {
+			parentEntries[i] = entry[T]{rect: n.computeMBR(cfg.Dim), child: n}
+		}
+		strSort(parentEntries, cfg.Dim, cfg.MaxEntries)
+		nodes = packEntries(parentEntries, cfg, level, false)
+		level++
+	}
+	t := &Tree[T]{cfg: cfg, root: nodes[0], size: len(items)}
+	return t, nil
+}
+
+// strSort orders entries by sort-tile-recursive tiling of their centres.
+func strSort[T any](es []entry[T], dim, capacity int) {
+	var tile func(part []entry[T], axis int)
+	tile = func(part []entry[T], axis int) {
+		if len(part) <= capacity || axis >= dim {
+			return
+		}
+		sort.SliceStable(part, func(a, b int) bool {
+			return part[a].rect.Center()[axis] < part[b].rect.Center()[axis]
+		})
+		remaining := dim - axis
+		pages := int(math.Ceil(float64(len(part)) / float64(capacity)))
+		slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(remaining))))
+		if slabs < 1 {
+			slabs = 1
+		}
+		per := (len(part) + slabs - 1) / slabs
+		for start := 0; start < len(part); start += per {
+			end := start + per
+			if end > len(part) {
+				end = len(part)
+			}
+			tile(part[start:end], axis+1)
+		}
+	}
+	tile(es, 0)
+}
+
+// packEntries cuts an ordered entry sequence into nodes of the given
+// level, keeping the tail above the minimum fill by borrowing from the
+// previous group.
+func packEntries[T any](es []entry[T], cfg Config, level int, leaf bool) []*node[T] {
+	var sizes []int
+	n := len(es)
+	if n <= cfg.MaxEntries {
+		sizes = []int{n}
+	} else {
+		full := n / cfg.MaxEntries
+		rem := n % cfg.MaxEntries
+		for i := 0; i < full; i++ {
+			sizes = append(sizes, cfg.MaxEntries)
+		}
+		if rem > 0 {
+			if rem < cfg.MinEntries {
+				// Borrow from the last full node.
+				sizes[len(sizes)-1] -= cfg.MinEntries - rem
+				rem = cfg.MinEntries
+			}
+			sizes = append(sizes, rem)
+		}
+	}
+	out := make([]*node[T], 0, len(sizes))
+	pos := 0
+	for _, s := range sizes {
+		nd := &node[T]{leaf: leaf, level: level, entries: append([]entry[T](nil), es[pos:pos+s]...)}
+		out = append(out, nd)
+		pos += s
+	}
+	return out
+}
+
+// FromPoints is a convenience that bulk loads point data.
+func FromPoints[T any](cfg Config, points [][]float64, values []T) (*Tree[T], error) {
+	if len(points) != len(values) {
+		return nil, fmt.Errorf("rstar: %d points for %d values", len(points), len(values))
+	}
+	items := make([]Item[T], len(points))
+	for i, p := range points {
+		items[i] = Item[T]{Rect: mbr.Point(p), Value: values[i]}
+	}
+	return BulkLoad(cfg, items)
+}

@@ -1,0 +1,150 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bayestree/internal/mbr"
+)
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoad[int](DefaultConfig(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("empty bulk tree invalid: %v", err)
+	}
+}
+
+func TestBulkLoadValidatesInput(t *testing.T) {
+	cfg := DefaultConfig(2)
+	if _, err := BulkLoad(cfg, []Item[int]{{Rect: mbr.Point([]float64{1})}}); err == nil {
+		t.Errorf("wrong-dim item accepted")
+	}
+	bad := Config{Dim: 0}
+	if _, err := BulkLoad[int](bad, nil); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+	if _, err := FromPoints(cfg, [][]float64{{1, 2}}, []int{1, 2}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+}
+
+func TestBulkLoadInvariantsAndSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 5, 16, 17, 100, 1000} {
+		points := make([][]float64, n)
+		values := make([]int, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+			values[i] = i
+		}
+		tr, err := FromPoints(DefaultConfig(2), points, values)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Search matches brute force.
+		for q := 0; q < 10; q++ {
+			lo := []float64{rng.Float64() * 10, rng.Float64() * 10}
+			hi := []float64{lo[0] + 2, lo[1] + 2}
+			query, _ := mbr.New(lo, hi)
+			got := tr.Search(query, nil)
+			gotIDs := make([]int, 0, len(got))
+			for _, it := range got {
+				gotIDs = append(gotIDs, it.Value)
+			}
+			var wantIDs []int
+			for i, p := range points {
+				if query.ContainsPoint(p) {
+					wantIDs = append(wantIDs, i)
+				}
+			}
+			sort.Ints(gotIDs)
+			sort.Ints(wantIDs)
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("n=%d query %d: %d results, want %d", n, q, len(gotIDs), len(wantIDs))
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("n=%d query %d: result mismatch", n, q)
+				}
+			}
+		}
+	}
+}
+
+// Bulk-loaded trees should be shallower (better packed) than the same
+// data inserted one by one.
+func TestBulkLoadPacksTighter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	points := make([][]float64, n)
+	values := make([]int, n)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64()}
+		values[i] = i
+	}
+	bulk, err := FromPoints(DefaultConfig(2), points, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := New[int](DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if err := incr.Insert(mbr.Point(p), values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb, si := bulk.Stats(), incr.Stats()
+	if sb.Nodes > si.Nodes {
+		t.Errorf("bulk tree has %d nodes, incremental %d — packing failed", sb.Nodes, si.Nodes)
+	}
+	if float64(sb.LeafMinOcc) < 0.4*16 {
+		t.Errorf("bulk leaf min occupancy %d too low", sb.LeafMinOcc)
+	}
+}
+
+// Mutations after bulk loading keep the tree valid.
+func TestBulkLoadThenMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]float64, 300)
+	values := make([]int, 300)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64()}
+		values[i] = i
+	}
+	tr, err := FromPoints(DefaultConfig(2), points, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(mbr.Point([]float64{rng.Float64(), rng.Float64()}), 1000+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		want := i
+		if !tr.Delete(mbr.Point(points[i]), func(v int) bool { return v == want }) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("post-mutation: %v", err)
+	}
+	if tr.Len() != 350 {
+		t.Fatalf("Len = %d, want 350", tr.Len())
+	}
+}

@@ -1,0 +1,594 @@
+// Package rstar implements a standalone in-memory R*-tree (Beckmann et
+// al., SIGMOD 1990) over axis-aligned rectangles with arbitrary payloads.
+// It is the spatial-index substrate that the Bayes tree "extends" with
+// statistical entry information (Section 2.2 of the paper references
+// Guttman's R-tree [11]; the Bayes tree itself uses the R*-variant).
+//
+// Supported operations: insertion with forced reinsertion, deletion with
+// tree condensation, range (window) queries, point queries and k-nearest-
+// neighbour queries via best-first MINDIST search.
+package rstar
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"bayestree/internal/mbr"
+)
+
+// Item is a payload stored in the tree together with its bounding
+// rectangle.
+type Item[T any] struct {
+	Rect  mbr.Rect
+	Value T
+}
+
+// Config controls node capacities and the forced-reinsertion policy.
+type Config struct {
+	// Dim is the dimensionality of all indexed rectangles.
+	Dim int
+	// MaxEntries is M, the node capacity (≥ 4 for sensible splits).
+	MaxEntries int
+	// MinEntries is m, the minimum fill (typically 40% of M).
+	MinEntries int
+	// ReinsertFraction is the share p of entries force-reinserted on the
+	// first overflow per level (R* uses 30%). Zero disables reinsertion.
+	ReinsertFraction float64
+}
+
+// DefaultConfig returns the classical R*-tree parameterisation for the
+// given dimensionality: M = 16, m = 6 (≈40%), 30% forced reinsertion.
+func DefaultConfig(dim int) Config {
+	return Config{Dim: dim, MaxEntries: 16, MinEntries: 6, ReinsertFraction: 0.3}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Dim < 1 {
+		return fmt.Errorf("rstar: dim must be ≥ 1, got %d", c.Dim)
+	}
+	if c.MaxEntries < 4 {
+		return fmt.Errorf("rstar: MaxEntries must be ≥ 4, got %d", c.MaxEntries)
+	}
+	if c.MinEntries < 1 || c.MinEntries > c.MaxEntries/2 {
+		return fmt.Errorf("rstar: MinEntries must be in [1, MaxEntries/2], got %d", c.MinEntries)
+	}
+	if c.ReinsertFraction < 0 || c.ReinsertFraction > 0.5 {
+		return fmt.Errorf("rstar: ReinsertFraction must be in [0, 0.5], got %v", c.ReinsertFraction)
+	}
+	return nil
+}
+
+type entry[T any] struct {
+	rect  mbr.Rect
+	child *node[T] // nil for leaf entries
+	item  Item[T]  // valid for leaf entries
+}
+
+type node[T any] struct {
+	leaf    bool
+	level   int // 0 = leaf
+	entries []entry[T]
+}
+
+func (n *node[T]) computeMBR(dim int) mbr.Rect {
+	r := mbr.Empty(dim)
+	for i := range n.entries {
+		r.Extend(n.entries[i].rect)
+	}
+	return r
+}
+
+// Tree is an in-memory R*-tree. It is not safe for concurrent mutation;
+// concurrent readers are safe between mutations.
+type Tree[T any] struct {
+	cfg  Config
+	root *node[T]
+	size int
+}
+
+// New creates an empty tree, validating the configuration.
+func New[T any](cfg Config) (*Tree[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tree[T]{
+		cfg:  cfg,
+		root: &node[T]{leaf: true, level: 0},
+	}, nil
+}
+
+// Len returns the number of stored items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a tree holding only a root
+// leaf).
+func (t *Tree[T]) Height() int { return t.root.level + 1 }
+
+// Insert adds an item to the tree.
+func (t *Tree[T]) Insert(rect mbr.Rect, value T) error {
+	if rect.Dim() != t.cfg.Dim {
+		return fmt.Errorf("rstar: rect dim %d != tree dim %d", rect.Dim(), t.cfg.Dim)
+	}
+	if err := rect.Validate(); err != nil {
+		return err
+	}
+	reinserted := make(map[int]bool)
+	t.insertEntry(entry[T]{rect: rect.Clone(), item: Item[T]{Rect: rect.Clone(), Value: value}}, 0, reinserted)
+	t.size++
+	return nil
+}
+
+// insertEntry places e at the given level, handling overflow via forced
+// reinsertion (once per level per insertion) and node splits.
+func (t *Tree[T]) insertEntry(e entry[T], level int, reinserted map[int]bool) {
+	path := t.choosePath(e.rect, level)
+	n := path[len(path)-1]
+	n.entries = append(n.entries, e)
+	t.overflowChain(path, reinserted)
+}
+
+// choosePath descends from the root to the node at targetLevel chosen by
+// the R* subtree selection, returning the whole path.
+func (t *Tree[T]) choosePath(r mbr.Rect, targetLevel int) []*node[T] {
+	path := []*node[T]{t.root}
+	n := t.root
+	for n.level > targetLevel {
+		idx := t.chooseSubtree(n, r)
+		n = n.entries[idx].child
+		path = append(path, n)
+	}
+	return path
+}
+
+// chooseSubtree implements the R* selection: for nodes whose children are
+// leaves, minimise overlap enlargement; otherwise minimise area
+// enlargement, with area as the tie breaker.
+func (t *Tree[T]) chooseSubtree(n *node[T], r mbr.Rect) int {
+	best := 0
+	if n.level == 1 {
+		bestOverlap := math.Inf(1)
+		bestEnl := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i := range n.entries {
+			u := mbr.Union(n.entries[i].rect, r)
+			var overlap float64
+			for j := range n.entries {
+				if j == i {
+					continue
+				}
+				overlap += mbr.OverlapArea(u, n.entries[j].rect)
+				overlap -= mbr.OverlapArea(n.entries[i].rect, n.entries[j].rect)
+			}
+			enl := u.Area() - n.entries[i].rect.Area()
+			area := n.entries[i].rect.Area()
+			if overlap < bestOverlap ||
+				(overlap == bestOverlap && enl < bestEnl) ||
+				(overlap == bestOverlap && enl == bestEnl && area < bestArea) {
+				best, bestOverlap, bestEnl, bestArea = i, overlap, enl, area
+			}
+		}
+		return best
+	}
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range n.entries {
+		enl := mbr.Enlargement(n.entries[i].rect, r)
+		area := n.entries[i].rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// overflowChain fixes up the path bottom-up: refreshes MBRs, splits or
+// force-reinserts overflowing nodes, and grows the root when it splits.
+func (t *Tree[T]) overflowChain(path []*node[T], reinserted map[int]bool) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries) <= t.cfg.MaxEntries {
+			t.refreshPath(path[:i+1])
+			continue
+		}
+		if i > 0 && t.cfg.ReinsertFraction > 0 && !reinserted[n.level] {
+			reinserted[n.level] = true
+			removed := t.pickReinsert(n)
+			t.refreshPath(path[:i+1])
+			for _, e := range removed {
+				t.insertEntry(e, n.level, reinserted)
+			}
+			return // the reinsertions handled the rest of the chain
+		}
+		left, right := t.split(n)
+		if i == 0 {
+			// Root split: grow the tree by one level.
+			newRoot := &node[T]{level: n.level + 1}
+			newRoot.entries = []entry[T]{
+				{rect: left.computeMBR(t.cfg.Dim), child: left},
+				{rect: right.computeMBR(t.cfg.Dim), child: right},
+			}
+			t.root = newRoot
+			return
+		}
+		parent := path[i-1]
+		// Replace the child pointer to n with the two halves.
+		for j := range parent.entries {
+			if parent.entries[j].child == n {
+				parent.entries[j] = entry[T]{rect: left.computeMBR(t.cfg.Dim), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry[T]{rect: right.computeMBR(t.cfg.Dim), child: right})
+	}
+}
+
+// refreshPath recomputes the parent MBRs along the path (leaf-most last).
+func (t *Tree[T]) refreshPath(path []*node[T]) {
+	for i := len(path) - 1; i >= 1; i-- {
+		child := path[i]
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].rect = child.computeMBR(t.cfg.Dim)
+				break
+			}
+		}
+	}
+}
+
+// pickReinsert removes the p·M entries whose centres lie farthest from the
+// node's MBR centre (R* forced reinsert, "far reinsert" variant) and
+// returns them in decreasing distance order.
+func (t *Tree[T]) pickReinsert(n *node[T]) []entry[T] {
+	p := int(t.cfg.ReinsertFraction * float64(t.cfg.MaxEntries))
+	if p < 1 {
+		p = 1
+	}
+	center := n.computeMBR(t.cfg.Dim).Center()
+	type distEntry struct {
+		d float64
+		e entry[T]
+	}
+	ds := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		c := e.rect.Center()
+		var s float64
+		for k := range c {
+			dd := c[k] - center[k]
+			s += dd * dd
+		}
+		ds[i] = distEntry{d: s, e: e}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	removed := make([]entry[T], 0, p)
+	for i := 0; i < p; i++ {
+		removed = append(removed, ds[i].e)
+	}
+	n.entries = n.entries[:0]
+	for i := p; i < len(ds); i++ {
+		n.entries = append(n.entries, ds[i].e)
+	}
+	return removed
+}
+
+// split performs the R* topological split: choose the axis minimising the
+// summed margin over all distributions, then the distribution minimising
+// overlap (area as tie breaker).
+func (t *Tree[T]) split(n *node[T]) (left, right *node[T]) {
+	m := t.cfg.MinEntries
+	M := len(n.entries) // M+1 entries at overflow
+	bestAxis, bestLower := 0, false
+	bestMargin := math.Inf(1)
+	for axis := 0; axis < t.cfg.Dim; axis++ {
+		for _, lower := range []bool{true, false} {
+			sortEntriesByAxis(n.entries, axis, lower)
+			var margin float64
+			for k := m; k <= M-m; k++ {
+				lr := groupMBR(n.entries[:k], t.cfg.Dim)
+				rr := groupMBR(n.entries[k:], t.cfg.Dim)
+				margin += lr.Margin() + rr.Margin()
+			}
+			if margin < bestMargin {
+				bestMargin, bestAxis, bestLower = margin, axis, lower
+			}
+		}
+	}
+	sortEntriesByAxis(n.entries, bestAxis, bestLower)
+	bestK := m
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for k := m; k <= M-m; k++ {
+		lr := groupMBR(n.entries[:k], t.cfg.Dim)
+		rr := groupMBR(n.entries[k:], t.cfg.Dim)
+		overlap := mbr.OverlapArea(lr, rr)
+		area := lr.Area() + rr.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, overlap, area
+		}
+	}
+	left = &node[T]{leaf: n.leaf, level: n.level, entries: append([]entry[T](nil), n.entries[:bestK]...)}
+	right = &node[T]{leaf: n.leaf, level: n.level, entries: append([]entry[T](nil), n.entries[bestK:]...)}
+	return left, right
+}
+
+func sortEntriesByAxis[T any](es []entry[T], axis int, lower bool) {
+	sort.SliceStable(es, func(a, b int) bool {
+		if lower {
+			if es[a].rect.Lo[axis] != es[b].rect.Lo[axis] {
+				return es[a].rect.Lo[axis] < es[b].rect.Lo[axis]
+			}
+			return es[a].rect.Hi[axis] < es[b].rect.Hi[axis]
+		}
+		if es[a].rect.Hi[axis] != es[b].rect.Hi[axis] {
+			return es[a].rect.Hi[axis] < es[b].rect.Hi[axis]
+		}
+		return es[a].rect.Lo[axis] < es[b].rect.Lo[axis]
+	})
+}
+
+func groupMBR[T any](es []entry[T], dim int) mbr.Rect {
+	r := mbr.Empty(dim)
+	for i := range es {
+		r.Extend(es[i].rect)
+	}
+	return r
+}
+
+// Search appends to out all items whose rectangles intersect query and
+// returns the result.
+func (t *Tree[T]) Search(query mbr.Rect, out []Item[T]) []Item[T] {
+	return t.search(t.root, query, out)
+}
+
+func (t *Tree[T]) search(n *node[T], query mbr.Rect, out []Item[T]) []Item[T] {
+	for i := range n.entries {
+		if !n.entries[i].rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			out = append(out, n.entries[i].item)
+		} else {
+			out = t.search(n.entries[i].child, query, out)
+		}
+	}
+	return out
+}
+
+// Delete removes one item whose rectangle equals rect and for which match
+// returns true. It reports whether an item was removed. Underfull nodes
+// are condensed by reinserting their remaining entries, as in Guttman's
+// original algorithm.
+func (t *Tree[T]) Delete(rect mbr.Rect, match func(T) bool) bool {
+	var orphans []struct {
+		level   int
+		entries []entry[T]
+	}
+	removed := t.deleteRec(t.root, rect, match, &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+	reinserted := make(map[int]bool)
+	for _, o := range orphans {
+		for _, e := range o.entries {
+			t.insertEntry(e, o.level, reinserted)
+		}
+	}
+	// Shrink the root if it has a single child and is not a leaf.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node[T]{leaf: true, level: 0}
+	}
+	return true
+}
+
+func (t *Tree[T]) deleteRec(n *node[T], rect mbr.Rect, match func(T) bool, orphans *[]struct {
+	level   int
+	entries []entry[T]
+}) bool {
+	if n.leaf {
+		for i := range n.entries {
+			e := n.entries[i]
+			if rectEqual(e.rect, rect) && match(e.item.Value) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.entries {
+		if !n.entries[i].rect.Contains(rect) {
+			continue
+		}
+		child := n.entries[i].child
+		if t.deleteRec(child, rect, match, orphans) {
+			if len(child.entries) < t.cfg.MinEntries {
+				*orphans = append(*orphans, struct {
+					level   int
+					entries []entry[T]
+				}{level: child.level, entries: append([]entry[T](nil), child.entries...)})
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			} else {
+				n.entries[i].rect = child.computeMBR(t.cfg.Dim)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func rectEqual(a, b mbr.Rect) bool {
+	for i := range a.Lo {
+		if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nnItem is a heap element for best-first kNN search.
+type nnItem[T any] struct {
+	dist  float64
+	node  *node[T]
+	item  *Item[T]
+	isObj bool
+}
+
+type nnHeap[T any] []nnItem[T]
+
+func (h nnHeap[T]) Len() int            { return len(h) }
+func (h nnHeap[T]) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap[T]) Push(x interface{}) { *h = append(*h, x.(nnItem[T])) }
+func (h *nnHeap[T]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Nearest returns the k items nearest to the query point in increasing
+// distance order (fewer if the tree holds fewer items), using best-first
+// search over MINDIST.
+func (t *Tree[T]) Nearest(query []float64, k int) []Item[T] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &nnHeap[T]{}
+	heap.Push(h, nnItem[T]{dist: 0, node: t.root})
+	out := make([]Item[T], 0, k)
+	for h.Len() > 0 && len(out) < k {
+		top := heap.Pop(h).(nnItem[T])
+		if top.isObj {
+			out = append(out, *top.item)
+			continue
+		}
+		n := top.node
+		for i := range n.entries {
+			e := &n.entries[i]
+			d := e.rect.MinDist2(query)
+			if n.leaf {
+				heap.Push(h, nnItem[T]{dist: d, item: &e.item, isObj: true})
+			} else {
+				heap.Push(h, nnItem[T]{dist: d, node: e.child})
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarises the tree shape for diagnostics and tests.
+type Stats struct {
+	Items      int
+	Nodes      int
+	Leaves     int
+	Height     int
+	AvgFanout  float64
+	MinFanout  int
+	MaxFanout  int
+	LeafMinOcc int
+	LeafMaxOcc int
+}
+
+// Stats walks the tree and returns shape statistics.
+func (t *Tree[T]) Stats() Stats {
+	s := Stats{Height: t.Height(), MinFanout: math.MaxInt32, LeafMinOcc: math.MaxInt32}
+	var total, count int
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		s.Nodes++
+		if n.leaf {
+			s.Leaves++
+			if len(n.entries) < s.LeafMinOcc {
+				s.LeafMinOcc = len(n.entries)
+			}
+			if len(n.entries) > s.LeafMaxOcc {
+				s.LeafMaxOcc = len(n.entries)
+			}
+			return
+		}
+		total += len(n.entries)
+		count++
+		if len(n.entries) < s.MinFanout {
+			s.MinFanout = len(n.entries)
+		}
+		if len(n.entries) > s.MaxFanout {
+			s.MaxFanout = len(n.entries)
+		}
+		for i := range n.entries {
+			walk(n.entries[i].child)
+		}
+	}
+	walk(t.root)
+	s.Items = t.size
+	if count > 0 {
+		s.AvgFanout = float64(total) / float64(count)
+	}
+	if s.MinFanout == math.MaxInt32 {
+		s.MinFanout = 0
+	}
+	if s.LeafMinOcc == math.MaxInt32 {
+		s.LeafMinOcc = 0
+	}
+	return s
+}
+
+// Validate checks the structural invariants: balanced depth, fanout within
+// [m, M] (except the root), parent MBRs exactly covering children, and the
+// item count. It returns the first violation found.
+func (t *Tree[T]) Validate() error {
+	leafLevel := -1
+	items := 0
+	var walk func(n *node[T], depth int, isRoot bool) error
+	walk = func(n *node[T], depth int, isRoot bool) error {
+		if n.leaf != (n.level == 0) {
+			return fmt.Errorf("rstar: node level %d leaf flag mismatch", n.level)
+		}
+		if !isRoot {
+			min := t.cfg.MinEntries
+			if len(n.entries) < min || len(n.entries) > t.cfg.MaxEntries {
+				return fmt.Errorf("rstar: node at level %d has %d entries, want [%d,%d]",
+					n.level, len(n.entries), min, t.cfg.MaxEntries)
+			}
+		}
+		if n.leaf {
+			if leafLevel == -1 {
+				leafLevel = depth
+			} else if leafLevel != depth {
+				return fmt.Errorf("rstar: unbalanced leaves at depths %d and %d", leafLevel, depth)
+			}
+			items += len(n.entries)
+			return nil
+		}
+		for i := range n.entries {
+			child := n.entries[i].child
+			if child == nil {
+				return fmt.Errorf("rstar: inner entry without child at level %d", n.level)
+			}
+			if child.level != n.level-1 {
+				return fmt.Errorf("rstar: child level %d under parent level %d", child.level, n.level)
+			}
+			want := child.computeMBR(t.cfg.Dim)
+			if !rectEqual(n.entries[i].rect, want) {
+				return fmt.Errorf("rstar: stale parent MBR at level %d", n.level)
+			}
+			if err := walk(child, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, true); err != nil {
+		return err
+	}
+	if items != t.size {
+		return fmt.Errorf("rstar: counted %d items, size says %d", items, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package rstar
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bayestree/internal/mbr"
+)
+
+func newTestTree(t *testing.T, cfg Config) *Tree[int] {
+	t.Helper()
+	tr, err := New[int](cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Dim: 0, MaxEntries: 8, MinEntries: 3},
+		{Dim: 2, MaxEntries: 3, MinEntries: 1},
+		{Dim: 2, MaxEntries: 8, MinEntries: 5},
+		{Dim: 2, MaxEntries: 8, MinEntries: 0},
+		{Dim: 2, MaxEntries: 8, MinEntries: 3, ReinsertFraction: 0.9},
+	}
+	for i, cfg := range cases {
+		if _, err := New[int](cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New[int](DefaultConfig(3)); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestInsertValidateSmall(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig(2))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := []float64{rng.Float64() * 100, rng.Float64() * 100}
+		if err := tr.Insert(mbr.Point(p), i); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%17 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("invariants broken after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("final validation: %v", err)
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertRejectsBadRect(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig(2))
+	if err := tr.Insert(mbr.Point([]float64{1}), 0); err == nil {
+		t.Errorf("wrong dimension accepted")
+	}
+	bad := mbr.Rect{Lo: []float64{math.NaN(), 0}, Hi: []float64{1, 1}}
+	if err := tr.Insert(bad, 0); err == nil {
+		t.Errorf("NaN rect accepted")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	for _, withReinsert := range []bool{true, false} {
+		cfg := DefaultConfig(2)
+		if !withReinsert {
+			cfg.ReinsertFraction = 0
+		}
+		tr := newTestTree(t, cfg)
+		rng := rand.New(rand.NewSource(2))
+		type rec struct {
+			r mbr.Rect
+			v int
+		}
+		var all []rec
+		for i := 0; i < 400; i++ {
+			lo := []float64{rng.Float64() * 10, rng.Float64() * 10}
+			hi := []float64{lo[0] + rng.Float64(), lo[1] + rng.Float64()}
+			r, err := mbr.New(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, rec{r: r, v: i})
+			if err := tr.Insert(r, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("validate (reinsert=%v): %v", withReinsert, err)
+		}
+		for q := 0; q < 50; q++ {
+			qlo := []float64{rng.Float64() * 10, rng.Float64() * 10}
+			qhi := []float64{qlo[0] + rng.Float64()*3, qlo[1] + rng.Float64()*3}
+			query, _ := mbr.New(qlo, qhi)
+			got := tr.Search(query, nil)
+			gotIDs := make([]int, 0, len(got))
+			for _, it := range got {
+				gotIDs = append(gotIDs, it.Value)
+			}
+			var wantIDs []int
+			for _, rc := range all {
+				if rc.r.Intersects(query) {
+					wantIDs = append(wantIDs, rc.v)
+				}
+			}
+			sort.Ints(gotIDs)
+			sort.Ints(wantIDs)
+			if !equalInts(gotIDs, wantIDs) {
+				t.Fatalf("query %d (reinsert=%v): got %d results, want %d", q, withReinsert, len(gotIDs), len(wantIDs))
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig(3))
+	rng := rand.New(rand.NewSource(3))
+	var points [][]float64
+	for i := 0; i < 300; i++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		points = append(points, p)
+		if err := tr.Insert(mbr.Point(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 30; q++ {
+		query := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		k := 1 + rng.Intn(10)
+		got := tr.Nearest(query, k)
+		if len(got) != k {
+			t.Fatalf("Nearest returned %d, want %d", len(got), k)
+		}
+		// Brute force.
+		type dv struct {
+			d float64
+			i int
+		}
+		ds := make([]dv, len(points))
+		for i, p := range points {
+			ds[i] = dv{d: sq(p, query), i: i}
+		}
+		sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+		for i := 0; i < k; i++ {
+			gd := sq(got[i].Rect.Lo, query)
+			if math.Abs(gd-ds[i].d) > 1e-9 {
+				t.Fatalf("kNN rank %d: got dist %v, want %v", i, gd, ds[i].d)
+			}
+		}
+	}
+	if got := tr.Nearest([]float64{0, 0, 0}, 0); got != nil {
+		t.Errorf("k=0 should return nil")
+	}
+}
+
+func TestNearestOrdering(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig(1))
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(mbr.Point([]float64{float64(i)}), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Nearest([]float64{20.2}, 5)
+	want := []int{20, 21, 19, 22, 18}
+	for i, it := range got {
+		if it.Value != want[i] {
+			t.Fatalf("rank %d: got %d, want %d", i, it.Value, want[i])
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig(2))
+	rng := rand.New(rand.NewSource(4))
+	var points [][]float64
+	for i := 0; i < 300; i++ {
+		p := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		points = append(points, p)
+		if err := tr.Insert(mbr.Point(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete half, validating periodically.
+	for i := 0; i < 150; i++ {
+		want := i
+		ok := tr.Delete(mbr.Point(points[i]), func(v int) bool { return v == want })
+		if !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+		if i%25 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("validate after delete %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	// Deleted items are gone; remaining items are found.
+	for i := 0; i < 300; i++ {
+		res := tr.Search(mbr.Point(points[i]), nil)
+		found := false
+		for _, it := range res {
+			if it.Value == i {
+				found = true
+			}
+		}
+		if i < 150 && found {
+			t.Fatalf("deleted item %d still found", i)
+		}
+		if i >= 150 && !found {
+			t.Fatalf("item %d lost", i)
+		}
+	}
+	// Deleting a non-existent item reports false.
+	if tr.Delete(mbr.Point([]float64{-99, -99}), func(int) bool { return true }) {
+		t.Errorf("phantom delete succeeded")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig(2))
+	var pts [][]float64
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 120; i++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		pts = append(pts, p)
+		if err := tr.Insert(mbr.Point(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range pts {
+		want := i
+		if !tr.Delete(mbr.Point(p), func(v int) bool { return v == want }) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty: %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("empty tree invalid: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig(2))
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(mbr.Point([]float64{rng.Float64(), rng.Float64()}), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tr.Stats()
+	if s.Items != 500 {
+		t.Errorf("Items = %d", s.Items)
+	}
+	if s.Height < 2 {
+		t.Errorf("Height = %d, want ≥ 2 for 500 items", s.Height)
+	}
+	if s.MaxFanout > 16 {
+		t.Errorf("MaxFanout = %d exceeds M", s.MaxFanout)
+	}
+	if s.Leaves == 0 || s.Nodes <= s.Leaves {
+		t.Errorf("odd shape: %+v", s)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Many identical rectangles must still produce a valid tree.
+	tr := newTestTree(t, DefaultConfig(2))
+	p := []float64{1, 1}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(mbr.Point(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate with duplicates: %v", err)
+	}
+	if got := len(tr.Search(mbr.Point(p), nil)); got != 100 {
+		t.Fatalf("found %d duplicates, want 100", got)
+	}
+}
+
+func sq(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

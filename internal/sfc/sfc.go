@@ -1,0 +1,290 @@
+// Package sfc implements the space-filling curves used by the traditional
+// bulk-loading strategies of Section 3.1 (Hilbert curve and z-curve) and by
+// the Goldberger bulk loader's initial mapping π₀, which groups mixture
+// components "according to the z-curve order of their mean values".
+//
+// Both curves operate on a quantised integer grid: continuous vectors are
+// first mapped into [0, 2^bits)^d relative to a bounding box, then encoded
+// into a bit-interleaved key. Keys are variable-length byte strings compared
+// lexicographically, so any dimensionality and precision work without
+// overflowing a machine word.
+//
+// The d-dimensional Hilbert encoding follows John Skilling, "Programming
+// the Hilbert curve" (AIP 2004): coordinates are converted to and from the
+// "transposed" Hilbert index representation in place.
+package sfc
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Quantizer maps continuous vectors into an integer grid.
+type Quantizer struct {
+	lo    []float64
+	scale []float64 // grid cells per unit length, per dimension
+	bits  int
+	max   uint32
+}
+
+// NewQuantizer builds a quantizer for the axis-aligned box [lo, hi] with
+// the given number of bits per dimension (1..31). Degenerate dimensions
+// (hi == lo) map everything to cell 0.
+func NewQuantizer(lo, hi []float64, bits int) (*Quantizer, error) {
+	if len(lo) != len(hi) {
+		return nil, fmt.Errorf("sfc: lo dim %d != hi dim %d", len(lo), len(hi))
+	}
+	if bits < 1 || bits > 31 {
+		return nil, fmt.Errorf("sfc: bits must be in [1,31], got %d", bits)
+	}
+	q := &Quantizer{
+		lo:    append([]float64(nil), lo...),
+		scale: make([]float64, len(lo)),
+		bits:  bits,
+		max:   (uint32(1) << bits) - 1,
+	}
+	cells := float64(uint64(1) << bits)
+	for i := range lo {
+		if hi[i] > lo[i] {
+			q.scale[i] = cells / (hi[i] - lo[i])
+		}
+	}
+	return q, nil
+}
+
+// BoundsOf returns the component-wise bounding box of the given points; a
+// convenience for constructing quantizers over data sets.
+func BoundsOf(points [][]float64, d int) (lo, hi []float64) {
+	lo = make([]float64, d)
+	hi = make([]float64, d)
+	for i := 0; i < d; i++ {
+		lo[i] = 0
+		hi[i] = 0
+	}
+	if len(points) == 0 {
+		return lo, hi
+	}
+	copy(lo, points[0])
+	copy(hi, points[0])
+	for _, p := range points[1:] {
+		for i := 0; i < d; i++ {
+			if p[i] < lo[i] {
+				lo[i] = p[i]
+			}
+			if p[i] > hi[i] {
+				hi[i] = p[i]
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Bits returns the number of bits per dimension.
+func (q *Quantizer) Bits() int { return q.bits }
+
+// Cell quantises x into grid coordinates, clamping to the grid.
+func (q *Quantizer) Cell(x []float64) []uint32 {
+	out := make([]uint32, len(q.lo))
+	for i := range q.lo {
+		v := (x[i] - q.lo[i]) * q.scale[i]
+		switch {
+		case v <= 0:
+			out[i] = 0
+		case v >= float64(q.max):
+			out[i] = q.max
+		default:
+			out[i] = uint32(v)
+		}
+	}
+	return out
+}
+
+// Key is a bit-interleaved curve key; compare with Key.Cmp (lexicographic).
+type Key []byte
+
+// Cmp compares two keys lexicographically.
+func (k Key) Cmp(other Key) int { return bytes.Compare(k, other) }
+
+// interleave packs the top `bits` bits of each coordinate, most significant
+// bit-plane first, axis order within each plane, into a byte string.
+func interleave(coords []uint32, bits int) Key {
+	n := len(coords) * bits
+	out := make(Key, (n+7)/8)
+	pos := 0
+	for b := bits - 1; b >= 0; b-- {
+		for _, c := range coords {
+			if c>>(uint(b))&1 == 1 {
+				out[pos/8] |= 1 << (7 - uint(pos%8))
+			}
+			pos++
+		}
+	}
+	return out
+}
+
+// ZKey returns the z-order (Morton) key of quantised coordinates.
+func ZKey(coords []uint32, bits int) Key { return interleave(coords, bits) }
+
+// HilbertKey returns the Hilbert-curve key of quantised coordinates. The
+// input slice is not modified.
+func HilbertKey(coords []uint32, bits int) Key {
+	x := append([]uint32(nil), coords...)
+	axesToTranspose(x, bits)
+	return interleave(x, bits)
+}
+
+// axesToTranspose converts grid coordinates into the transposed Hilbert
+// index in place (Skilling 2004).
+func axesToTranspose(x []uint32, bits int) {
+	if len(x) == 0 {
+		return
+	}
+	m := uint32(1) << uint(bits-1)
+	// Inverse undo of the excess work.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < len(x); i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < len(x); i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[len(x)-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := range x {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes is the inverse of axesToTranspose (Skilling 2004).
+func transposeToAxes(x []uint32, bits int) {
+	if len(x) == 0 {
+		return
+	}
+	n := uint32(2) << uint(bits-1)
+	// Gray decode by H ^ (H/2).
+	t := x[len(x)-1] >> 1
+	for i := len(x) - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != n; q <<= 1 {
+		p := q - 1
+		for i := len(x) - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// HilbertAxes inverts a transposed-form round trip: it converts coordinates
+// to the transposed Hilbert form and back, primarily exposed for property
+// tests of bijectivity. It returns the reconstructed coordinates.
+func HilbertAxes(coords []uint32, bits int) []uint32 {
+	x := append([]uint32(nil), coords...)
+	axesToTranspose(x, bits)
+	transposeToAxes(x, bits)
+	return x
+}
+
+// HilbertIndexUint64 returns the Hilbert index as a uint64 when the total
+// key width d·bits fits in 64 bits; it reports an error otherwise. Useful
+// for tests against known small-curve sequences.
+func HilbertIndexUint64(coords []uint32, bits int) (uint64, error) {
+	if len(coords)*bits > 64 {
+		return 0, fmt.Errorf("sfc: %d dims × %d bits exceeds 64-bit index", len(coords), bits)
+	}
+	x := append([]uint32(nil), coords...)
+	axesToTranspose(x, bits)
+	var idx uint64
+	for b := bits - 1; b >= 0; b-- {
+		for _, c := range x {
+			idx = idx<<1 | uint64(c>>uint(b)&1)
+		}
+	}
+	return idx, nil
+}
+
+// ZIndexUint64 returns the z-order index as a uint64 when it fits.
+func ZIndexUint64(coords []uint32, bits int) (uint64, error) {
+	if len(coords)*bits > 64 {
+		return 0, fmt.Errorf("sfc: %d dims × %d bits exceeds 64-bit index", len(coords), bits)
+	}
+	var idx uint64
+	for b := bits - 1; b >= 0; b-- {
+		for _, c := range coords {
+			idx = idx<<1 | uint64(c>>uint(b)&1)
+		}
+	}
+	return idx, nil
+}
+
+// Curve names the supported space-filling curves.
+type Curve int
+
+// Supported curves.
+const (
+	ZOrder Curve = iota
+	Hilbert
+)
+
+// String implements fmt.Stringer.
+func (c Curve) String() string {
+	switch c {
+	case ZOrder:
+		return "zcurve"
+	case Hilbert:
+		return "hilbert"
+	}
+	return fmt.Sprintf("Curve(%d)", int(c))
+}
+
+// SortByCurve returns the indices 0..len(points)-1 ordered by the chosen
+// curve key of each point. Ties keep their original relative order, making
+// the ordering deterministic.
+func SortByCurve(points [][]float64, d int, bits int, curve Curve) ([]int, error) {
+	lo, hi := BoundsOf(points, d)
+	q, err := NewQuantizer(lo, hi, bits)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]Key, len(points))
+	for i, p := range points {
+		cell := q.Cell(p)
+		switch curve {
+		case Hilbert:
+			keys[i] = HilbertKey(cell, bits)
+		case ZOrder:
+			keys[i] = ZKey(cell, bits)
+		default:
+			return nil, fmt.Errorf("sfc: unknown curve %v", curve)
+		}
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return keys[idx[a]].Cmp(keys[idx[b]]) < 0
+	})
+	return idx, nil
+}

@@ -1,0 +1,310 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizerValidation(t *testing.T) {
+	if _, err := NewQuantizer([]float64{0}, []float64{1, 2}, 8); err == nil {
+		t.Errorf("dim mismatch accepted")
+	}
+	if _, err := NewQuantizer([]float64{0}, []float64{1}, 0); err == nil {
+		t.Errorf("zero bits accepted")
+	}
+	if _, err := NewQuantizer([]float64{0}, []float64{1}, 32); err == nil {
+		t.Errorf("32 bits accepted")
+	}
+}
+
+func TestQuantizerCells(t *testing.T) {
+	q, err := NewQuantizer([]float64{0, 0}, []float64{1, 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Cell([]float64{0, 0})
+	if c[0] != 0 || c[1] != 0 {
+		t.Errorf("low corner = %v", c)
+	}
+	c = q.Cell([]float64{1, 10})
+	if c[0] != 15 || c[1] != 15 {
+		t.Errorf("high corner = %v (clamped to max)", c)
+	}
+	c = q.Cell([]float64{0.5, 5})
+	if c[0] != 8 || c[1] != 8 {
+		t.Errorf("midpoint = %v, want cell 8", c)
+	}
+	// Out-of-box points clamp.
+	c = q.Cell([]float64{-3, 99})
+	if c[0] != 0 || c[1] != 15 {
+		t.Errorf("clamping failed: %v", c)
+	}
+	// Degenerate dimension maps to 0.
+	q2, _ := NewQuantizer([]float64{5}, []float64{5}, 4)
+	if q2.Cell([]float64{5})[0] != 0 {
+		t.Errorf("degenerate dim not zero")
+	}
+}
+
+// Known sequence: the 2D Hilbert curve of order 2 visits the four
+// quadrant cells in the classic U-shape. Verify the first-order pattern:
+// (0,0) → (0,1) → (1,1) → (1,0).
+func TestHilbert2DOrder1(t *testing.T) {
+	want := [][]uint32{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for idx, cell := range want {
+		got, err := HilbertIndexUint64(cell, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(idx) {
+			t.Errorf("cell %v → index %d, want %d", cell, got, idx)
+		}
+	}
+}
+
+// Property: the Hilbert transposed transform round-trips (bijectivity).
+func TestHilbertBijectiveProperty(t *testing.T) {
+	f := func(a, b, c uint16, bitsRaw uint8) bool {
+		bits := int(bitsRaw%14) + 2
+		mask := uint32(1)<<bits - 1
+		coords := []uint32{uint32(a) & mask, uint32(b) & mask, uint32(c) & mask}
+		back := HilbertAxes(coords, bits)
+		for i := range coords {
+			if coords[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all Hilbert indices over a small grid are distinct and cover
+// the full range (the curve is a bijection cell ↔ index).
+func TestHilbertCoversGrid(t *testing.T) {
+	const bits = 3 // 8×8 grid
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			idx, err := HilbertIndexUint64([]uint32{x, y}, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[idx] {
+				t.Fatalf("duplicate index %d", idx)
+			}
+			seen[idx] = true
+			if idx >= 64 {
+				t.Fatalf("index %d out of range", idx)
+			}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("covered %d of 64 cells", len(seen))
+	}
+}
+
+// The Hilbert curve's defining property: consecutive indices are adjacent
+// cells (Manhattan distance exactly 1).
+func TestHilbertLocality(t *testing.T) {
+	const bits = 4 // 16×16
+	cells := make([][]uint32, 256)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			idx, err := HilbertIndexUint64([]uint32{x, y}, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells[idx] = []uint32{x, y}
+		}
+	}
+	for i := 1; i < len(cells); i++ {
+		d := manhattan(cells[i-1], cells[i])
+		if d != 1 {
+			t.Fatalf("consecutive Hilbert cells %v → %v at distance %d", cells[i-1], cells[i], d)
+		}
+	}
+}
+
+// Z-order known values: Morton interleave of (x=1, y=0) with 2 bits each.
+func TestZOrderKnown(t *testing.T) {
+	// bits are interleaved x-first (axis order), msb first:
+	// x=01, y=00 → x1 y1 x0 y0 = 0 0 1 0 = 2.
+	got, err := ZIndexUint64([]uint32{1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("z(1,0) = %d, want 2", got)
+	}
+	got, _ = ZIndexUint64([]uint32{3, 3}, 2)
+	if got != 15 {
+		t.Errorf("z(3,3) = %d, want 15", got)
+	}
+}
+
+// Property: z-order keys compare identically to z-order uint64 indices.
+func TestZKeyMatchesIndexProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint8) bool {
+		bits := 8
+		ca := []uint32{uint32(a1), uint32(a2)}
+		cb := []uint32{uint32(b1), uint32(b2)}
+		ia, _ := ZIndexUint64(ca, bits)
+		ib, _ := ZIndexUint64(cb, bits)
+		ka, kb := ZKey(ca, bits), ZKey(cb, bits)
+		cmp := ka.Cmp(kb)
+		switch {
+		case ia < ib:
+			return cmp < 0
+		case ia > ib:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Hilbert keys compare identically to Hilbert uint64 indices.
+func TestHilbertKeyMatchesIndexProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint8) bool {
+		bits := 8
+		ca := []uint32{uint32(a1), uint32(a2)}
+		cb := []uint32{uint32(b1), uint32(b2)}
+		ia, _ := HilbertIndexUint64(ca, bits)
+		ib, _ := HilbertIndexUint64(cb, bits)
+		cmp := HilbertKey(ca, bits).Cmp(HilbertKey(cb, bits))
+		switch {
+		case ia < ib:
+			return cmp < 0
+		case ia > ib:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexOverflowGuard(t *testing.T) {
+	coords := make([]uint32, 9)
+	if _, err := HilbertIndexUint64(coords, 8); err == nil {
+		t.Errorf("9 dims × 8 bits should not fit uint64")
+	}
+	if _, err := ZIndexUint64(coords, 8); err == nil {
+		t.Errorf("9 dims × 8 bits should not fit uint64")
+	}
+	// Keys handle it fine.
+	k := HilbertKey(coords, 8)
+	if len(k) != 9 {
+		t.Errorf("key length = %d bytes, want 9", len(k))
+	}
+}
+
+func TestSortByCurveDeterministicAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	points := make([][]float64, 200)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	for _, curve := range []Curve{Hilbert, ZOrder} {
+		o1, err := SortByCurve(points, 3, 8, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, _ := SortByCurve(points, 3, 8, curve)
+		seen := make([]bool, len(points))
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("%v ordering not deterministic", curve)
+			}
+			if seen[o1[i]] {
+				t.Fatalf("%v ordering repeats index %d", curve, o1[i])
+			}
+			seen[o1[i]] = true
+		}
+	}
+	if _, err := SortByCurve(points, 3, 8, Curve(99)); err == nil {
+		t.Errorf("unknown curve accepted")
+	}
+}
+
+// Sorting by Hilbert order should improve locality over random order:
+// the summed distance between consecutive points must shrink.
+func TestHilbertSortImprovesLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	points := make([][]float64, 500)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	order, err := SortByCurve(points, 2, 10, Hilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomPath := pathLength(points, identity(len(points)))
+	hilbertPath := pathLength(points, order)
+	if hilbertPath > randomPath*0.5 {
+		t.Errorf("Hilbert path %v not much shorter than random %v", hilbertPath, randomPath)
+	}
+}
+
+func TestCurveString(t *testing.T) {
+	if ZOrder.String() != "zcurve" || Hilbert.String() != "hilbert" {
+		t.Errorf("curve names wrong")
+	}
+	if Curve(9).String() == "" {
+		t.Errorf("unknown curve name empty")
+	}
+}
+
+func TestBoundsOf(t *testing.T) {
+	lo, hi := BoundsOf([][]float64{{1, 5}, {-2, 7}}, 2)
+	if lo[0] != -2 || hi[0] != 1 || lo[1] != 5 || hi[1] != 7 {
+		t.Errorf("bounds = %v %v", lo, hi)
+	}
+	lo, hi = BoundsOf(nil, 2)
+	if lo[0] != 0 || hi[0] != 0 {
+		t.Errorf("empty bounds = %v %v", lo, hi)
+	}
+}
+
+func manhattan(a, b []uint32) int {
+	d := 0
+	for i := range a {
+		if a[i] > b[i] {
+			d += int(a[i] - b[i])
+		} else {
+			d += int(b[i] - a[i])
+		}
+	}
+	return d
+}
+
+func pathLength(points [][]float64, order []int) float64 {
+	var total float64
+	for i := 1; i < len(order); i++ {
+		a, b := points[order[i-1]], points[order[i]]
+		var s float64
+		for k := range a {
+			d := a[k] - b[k]
+			s += d * d
+		}
+		total += s
+	}
+	return total
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCFMeanVarianceMatchDirect(t *testing.T) {
+	xs := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	cf := CFOfAll(xs, 2)
+	if cf.N != 4 {
+		t.Fatalf("N = %v", cf.N)
+	}
+	mean := cf.Mean()
+	if math.Abs(mean[0]-2.5) > 1e-12 || math.Abs(mean[1]-25) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+	// Population variance of {1,2,3,4} is 1.25.
+	variance := cf.Variance()
+	if math.Abs(variance[0]-1.25) > 1e-12 {
+		t.Errorf("variance[0] = %v, want 1.25", variance[0])
+	}
+	if math.Abs(variance[1]-125) > 1e-9 {
+		t.Errorf("variance[1] = %v, want 125", variance[1])
+	}
+}
+
+// Property: CF additivity — the CF of a union equals the merged CFs
+// (Definition 1's foundation and the paper's Section 4.2 "additivity
+// property").
+func TestCFAdditivityProperty(t *testing.T) {
+	f := func(seed int64, nA, nB uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randPoints(rng, int(nA%32)+1, 3)
+		b := randPoints(rng, int(nB%32)+1, 3)
+		all := append(append([][]float64{}, a...), b...)
+		direct := CFOfAll(all, 3)
+		merged := CFOfAll(a, 3)
+		other := CFOfAll(b, 3)
+		merged.Merge(other)
+		return cfClose(direct, merged, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Subtract inverts Merge.
+func TestCFSubtractInvertsMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := CFOfAll(randPoints(rng, 10, 2), 2)
+		b := CFOfAll(randPoints(rng, 5, 2), 2)
+		orig := a.Clone()
+		a.Merge(b)
+		a.Subtract(b)
+		return cfClose(a, orig, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCFScaleDecay(t *testing.T) {
+	cf := CFOfAll([][]float64{{2, 4}, {4, 8}}, 2)
+	mean := cf.Mean()
+	cf.Scale(0.5)
+	if math.Abs(cf.N-1) > 1e-12 {
+		t.Errorf("decayed N = %v, want 1", cf.N)
+	}
+	// Decay preserves the mean (and the variance).
+	if !floatsClose(cf.Mean(), mean, 1e-12) {
+		t.Errorf("decay changed the mean: %v vs %v", cf.Mean(), mean)
+	}
+}
+
+func TestCFAddWeighted(t *testing.T) {
+	cf := NewCF(1)
+	cf.AddWeighted([]float64{10}, 0.25)
+	cf.AddWeighted([]float64{20}, 0.75)
+	if math.Abs(cf.N-1) > 1e-12 {
+		t.Errorf("N = %v", cf.N)
+	}
+	if got := cf.Mean()[0]; math.Abs(got-17.5) > 1e-12 {
+		t.Errorf("weighted mean = %v, want 17.5", got)
+	}
+}
+
+func TestCFEmptyBehaviour(t *testing.T) {
+	cf := NewCF(2)
+	if !cf.IsEmpty() {
+		t.Errorf("new CF not empty")
+	}
+	if got := cf.Mean(); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty mean = %v", got)
+	}
+	for _, v := range cf.Variance() {
+		if v != VarianceFloor {
+			t.Errorf("empty variance = %v, want floor", v)
+		}
+	}
+	if cf.Radius() != 0 {
+		t.Errorf("empty radius = %v", cf.Radius())
+	}
+}
+
+func TestCFVarianceFloored(t *testing.T) {
+	// Identical points: true variance zero, must clamp to floor.
+	cf := CFOfAll([][]float64{{5}, {5}, {5}}, 1)
+	if got := cf.Variance()[0]; got != VarianceFloor {
+		t.Errorf("variance = %v, want floor %v", got, VarianceFloor)
+	}
+}
+
+func TestCFGaussianConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := randPoints(rng, 50, 4)
+	cf := CFOfAll(xs, 4)
+	g := cf.Gaussian()
+	if !floatsClose(g.Mean, cf.Mean(), 1e-12) {
+		t.Errorf("Gaussian mean differs from CF mean")
+	}
+	if !floatsClose(g.Var, cf.Variance(), 1e-12) {
+		t.Errorf("Gaussian variance differs from CF variance")
+	}
+}
+
+func TestCFRadius(t *testing.T) {
+	// Two points at distance 2 on one axis: RMS distance from centroid 1.
+	cf := CFOfAll([][]float64{{0}, {2}}, 1)
+	if got := cf.Radius(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("radius = %v, want 1", got)
+	}
+}
+
+func TestCFValidate(t *testing.T) {
+	cf := CFOfAll([][]float64{{1, 2}}, 2)
+	if err := cf.Validate(); err != nil {
+		t.Errorf("valid CF rejected: %v", err)
+	}
+	bad := cf.Clone()
+	bad.N = -1
+	if err := bad.Validate(); err == nil {
+		t.Errorf("negative count accepted")
+	}
+	bad = cf.Clone()
+	bad.LS[0] = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Errorf("NaN LS accepted")
+	}
+	bad = cf.Clone()
+	bad.SS = bad.SS[:1]
+	if err := bad.Validate(); err == nil {
+		t.Errorf("dim mismatch accepted")
+	}
+}
+
+func TestCFCloneIndependence(t *testing.T) {
+	cf := CFOfAll([][]float64{{1}}, 1)
+	cp := cf.Clone()
+	cp.Add([]float64{3})
+	if cf.N != 1 {
+		t.Errorf("Clone aliases storage")
+	}
+}
+
+func randPoints(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, d)
+		for k := range p {
+			p[k] = rng.NormFloat64() * 10
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func cfClose(a, b CF, tol float64) bool {
+	if math.Abs(a.N-b.N) > tol {
+		return false
+	}
+	return floatsClose(a.LS, b.LS, tol*100) && floatsClose(a.SS, b.SS, tol*1000)
+}
+
+func floatsClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}

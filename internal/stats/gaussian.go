@@ -1,0 +1,186 @@
+// Package stats implements the statistical primitives of the Bayes tree:
+// d-dimensional Gaussians with diagonal covariance, their densities and
+// closed-form Kullback-Leibler divergence, cluster features (the (n, LS, SS)
+// summaries stored in tree entries, Definition 1 of the paper), and the
+// data-independent Silverman bandwidth rule used for the kernel estimators
+// at leaf level (Section 2.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// VarianceFloor is the smallest variance admitted per dimension. Cluster
+// features of few or identical points can yield zero (or, through floating
+// point cancellation, slightly negative) variances; densities would then be
+// degenerate. Every variance that enters a density or divergence is clamped
+// to at least this value.
+const VarianceFloor = 1e-9
+
+const log2Pi = 1.8378770664093453 // ln(2π)
+
+// Gaussian is a d-dimensional normal distribution with diagonal covariance.
+// Var holds the per-dimension variances (the σ² vector of the paper).
+type Gaussian struct {
+	Mean []float64
+	Var  []float64
+}
+
+// Dim returns the dimensionality of the Gaussian.
+func (g Gaussian) Dim() int { return len(g.Mean) }
+
+// NewGaussian builds a Gaussian from mean and variance vectors, clamping
+// variances to the floor. It returns an error if the dimensions disagree
+// or any component is not finite.
+func NewGaussian(mean, variance []float64) (Gaussian, error) {
+	if len(mean) != len(variance) {
+		return Gaussian{}, fmt.Errorf("stats: mean dim %d != variance dim %d", len(mean), len(variance))
+	}
+	v := make([]float64, len(variance))
+	for i, x := range variance {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Gaussian{}, fmt.Errorf("stats: non-finite variance component %d", i)
+		}
+		if x < VarianceFloor {
+			x = VarianceFloor
+		}
+		v[i] = x
+	}
+	for i, x := range mean {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Gaussian{}, fmt.Errorf("stats: non-finite mean component %d", i)
+		}
+	}
+	m := make([]float64, len(mean))
+	copy(m, mean)
+	return Gaussian{Mean: m, Var: v}, nil
+}
+
+// LogPDF returns the log density of x under g. Variances are clamped to
+// the floor on the fly so that Gaussians built directly from cluster
+// features remain safe.
+func (g Gaussian) LogPDF(x []float64) float64 {
+	var quad, logDet float64
+	for i := range g.Mean {
+		v := g.Var[i]
+		if v < VarianceFloor {
+			v = VarianceFloor
+		}
+		d := x[i] - g.Mean[i]
+		quad += d * d / v
+		logDet += math.Log(v)
+	}
+	return -0.5 * (float64(len(g.Mean))*log2Pi + logDet + quad)
+}
+
+// PDF returns the density of x under g.
+func (g Gaussian) PDF(x []float64) float64 { return math.Exp(g.LogPDF(x)) }
+
+// Mahalanobis2 returns the squared Mahalanobis distance of x from g's mean
+// under the diagonal covariance.
+func (g Gaussian) Mahalanobis2(x []float64) float64 {
+	var quad float64
+	for i := range g.Mean {
+		v := g.Var[i]
+		if v < VarianceFloor {
+			v = VarianceFloor
+		}
+		d := x[i] - g.Mean[i]
+		quad += d * d / v
+	}
+	return quad
+}
+
+// KL returns the Kullback-Leibler divergence KL(g || h) between two
+// diagonal Gaussians in closed form:
+//
+//	KL = ½ Σ_d [ σg²/σh² + (μh-μg)²/σh² − 1 + ln(σh²/σg²) ]
+//
+// It is non-negative and zero iff the distributions coincide (up to the
+// variance floor). The paper uses this divergence inside the Goldberger
+// bulk-loading distance (Definition 4).
+func KL(g, h Gaussian) float64 {
+	var s float64
+	for i := range g.Mean {
+		vg := g.Var[i]
+		if vg < VarianceFloor {
+			vg = VarianceFloor
+		}
+		vh := h.Var[i]
+		if vh < VarianceFloor {
+			vh = VarianceFloor
+		}
+		dm := h.Mean[i] - g.Mean[i]
+		s += vg/vh + dm*dm/vh - 1 + math.Log(vh/vg)
+	}
+	return 0.5 * s
+}
+
+// SymKL returns the symmetrised divergence KL(g||h)+KL(h||g), occasionally
+// useful as a merge criterion.
+func SymKL(g, h Gaussian) float64 { return KL(g, h) + KL(h, g) }
+
+// LogSumExp returns ln(Σ exp(xs_i)) computed stably. An empty input yields
+// -Inf (the log of zero).
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// SilvermanBandwidth returns the per-dimension kernel bandwidths (standard
+// deviations) of Silverman's data-independent rule of thumb for a sample of
+// size n in d dimensions with per-dimension standard deviations sigma:
+//
+//	h_i = sigma_i · (4 / (d+2))^(1/(d+4)) · n^(−1/(d+4))
+//
+// This is the "common data independent method according to [18]" of
+// Section 2.1. The returned vector contains bandwidths h_i, not variances;
+// square them for use as Gaussian kernel variances.
+func SilvermanBandwidth(sigma []float64, n int, d int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	if d < 1 {
+		d = len(sigma)
+	}
+	exp := 1.0 / (float64(d) + 4.0)
+	factor := math.Pow(4.0/(float64(d)+2.0), exp) * math.Pow(float64(n), -exp)
+	out := make([]float64, len(sigma))
+	for i, s := range sigma {
+		if s <= 0 {
+			s = math.Sqrt(VarianceFloor)
+		}
+		out[i] = s * factor
+	}
+	return out
+}
+
+// ScalarSilverman returns the Silverman factor alone (the bandwidth for a
+// unit-variance dimension), convenient when a single pooled bandwidth is
+// wanted.
+func ScalarSilverman(n, d int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	exp := 1.0 / (float64(d) + 4.0)
+	return math.Pow(4.0/(float64(d)+2.0), exp) * math.Pow(float64(n), -exp)
+}

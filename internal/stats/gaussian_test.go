@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianPDFMatchesClosedForm1D(t *testing.T) {
+	g := Gaussian{Mean: []float64{2}, Var: []float64{4}}
+	// N(2, 4) at x=2: 1/sqrt(2π·4)
+	want := 1 / math.Sqrt(2*math.Pi*4)
+	if got := g.PDF([]float64{2}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PDF at mean = %v, want %v", got, want)
+	}
+	// At one standard deviation.
+	want = math.Exp(-0.5) / math.Sqrt(2*math.Pi*4)
+	if got := g.PDF([]float64{4}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PDF at mean+σ = %v, want %v", got, want)
+	}
+}
+
+func TestGaussianPDFFactorsOverDims(t *testing.T) {
+	g := Gaussian{Mean: []float64{0, 1}, Var: []float64{1, 9}}
+	g0 := Gaussian{Mean: []float64{0}, Var: []float64{1}}
+	g1 := Gaussian{Mean: []float64{1}, Var: []float64{9}}
+	x := []float64{0.3, -0.7}
+	want := g0.PDF(x[:1]) * g1.PDF(x[1:])
+	if got := g.PDF(x); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("product structure violated: %v vs %v", got, want)
+	}
+}
+
+func TestNewGaussianValidation(t *testing.T) {
+	if _, err := NewGaussian([]float64{0}, []float64{1, 2}); err == nil {
+		t.Errorf("dimension mismatch accepted")
+	}
+	if _, err := NewGaussian([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Errorf("NaN mean accepted")
+	}
+	if _, err := NewGaussian([]float64{0}, []float64{math.Inf(1)}); err == nil {
+		t.Errorf("Inf variance accepted")
+	}
+	g, err := NewGaussian([]float64{0}, []float64{0})
+	if err != nil {
+		t.Fatalf("zero variance rejected: %v", err)
+	}
+	if g.Var[0] < VarianceFloor {
+		t.Errorf("zero variance not clamped: %v", g.Var[0])
+	}
+}
+
+func TestMahalanobis(t *testing.T) {
+	g := Gaussian{Mean: []float64{0, 0}, Var: []float64{1, 4}}
+	if got := g.Mahalanobis2([]float64{1, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mahalanobis2 = %v, want 2", got)
+	}
+}
+
+func TestKLSelfIsZero(t *testing.T) {
+	g := Gaussian{Mean: []float64{1, -2}, Var: []float64{0.5, 3}}
+	if got := KL(g, g); math.Abs(got) > 1e-12 {
+		t.Errorf("KL(g,g) = %v, want 0", got)
+	}
+}
+
+func TestKLKnownValue(t *testing.T) {
+	// KL(N(0,1) || N(1,1)) = 0.5 per dimension.
+	g := Gaussian{Mean: []float64{0}, Var: []float64{1}}
+	h := Gaussian{Mean: []float64{1}, Var: []float64{1}}
+	if got := KL(g, h); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("KL = %v, want 0.5", got)
+	}
+}
+
+// Property: KL is non-negative for random diagonal Gaussians.
+func TestKLNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		d := 1 + rng.Intn(6)
+		g := randomGaussian(rng, d)
+		h := randomGaussian(rng, d)
+		if kl := KL(g, h); kl < -1e-9 {
+			t.Fatalf("KL negative: %v for %v vs %v", kl, g, h)
+		}
+	}
+}
+
+// Property: symmetrised KL is symmetric.
+func TestSymKLSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		g := randomGaussian(rng, 3)
+		h := randomGaussian(rng, 3)
+		if math.Abs(SymKL(g, h)-SymKL(h, g)) > 1e-9 {
+			t.Fatalf("SymKL asymmetric")
+		}
+	}
+}
+
+func randomGaussian(rng *rand.Rand, d int) Gaussian {
+	mean := make([]float64, d)
+	variance := make([]float64, d)
+	for i := 0; i < d; i++ {
+		mean[i] = rng.NormFloat64() * 3
+		variance[i] = 0.01 + rng.Float64()*5
+	}
+	return Gaussian{Mean: mean, Var: variance}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(empty) = %v, want -Inf", got)
+	}
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("LogSumExp = %v, want log 6", got)
+	}
+	// Stability: huge shifts must not overflow.
+	got = LogSumExp([]float64{1000, 1000})
+	if math.Abs(got-(1000+math.Log(2))) > 1e-9 {
+		t.Errorf("LogSumExp big = %v", got)
+	}
+	// All -Inf stays -Inf.
+	if got := LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(-Inf...) = %v", got)
+	}
+}
+
+func TestLogSumExpMatchesNaive(t *testing.T) {
+	f := func(a [6]float64) bool {
+		xs := make([]float64, 0, 6)
+		for _, v := range a {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Keep values in a range where the naive sum is exact enough.
+			xs = append(xs, math.Mod(v, 20))
+		}
+		var naive float64
+		for _, x := range xs {
+			naive += math.Exp(x)
+		}
+		got := LogSumExp(xs)
+		return math.Abs(got-math.Log(naive)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSilvermanBandwidth(t *testing.T) {
+	// d=1: h = σ (4/3)^(1/5) n^(-1/5).
+	h := SilvermanBandwidth([]float64{2}, 100, 1)
+	want := 2 * math.Pow(4.0/3.0, 0.2) * math.Pow(100, -0.2)
+	if math.Abs(h[0]-want) > 1e-12 {
+		t.Errorf("Silverman 1D = %v, want %v", h[0], want)
+	}
+	// Bandwidth shrinks with n.
+	h1 := SilvermanBandwidth([]float64{1}, 10, 2)
+	h2 := SilvermanBandwidth([]float64{1}, 10000, 2)
+	if h2[0] >= h1[0] {
+		t.Errorf("bandwidth should shrink with n: %v vs %v", h1[0], h2[0])
+	}
+	// Degenerate sigma gets floored, n<1 clamps.
+	h = SilvermanBandwidth([]float64{0}, 0, 1)
+	if h[0] <= 0 {
+		t.Errorf("degenerate bandwidth %v", h[0])
+	}
+	if ScalarSilverman(0, 0) <= 0 {
+		t.Errorf("ScalarSilverman degenerate")
+	}
+}

@@ -1,0 +1,52 @@
+package stats
+
+import "math"
+
+// Missing-value support (Section 4.2 names "handling of missing values"
+// as an extension): queries may carry NaN coordinates, which are treated
+// as unobserved dimensions. For diagonal Gaussians the marginal density
+// over the observed dimensions is simply the product over those
+// dimensions, so evaluation restricted to an index set is exact
+// marginalisation.
+
+// ObservedDims returns the indices of non-NaN coordinates of x, or nil if
+// every coordinate is observed (the common fast path).
+func ObservedDims(x []float64) []int {
+	missing := 0
+	for _, v := range x {
+		if math.IsNaN(v) {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	obs := make([]int, 0, len(x)-missing)
+	for i, v := range x {
+		if !math.IsNaN(v) {
+			obs = append(obs, i)
+		}
+	}
+	return obs
+}
+
+// LogPDFObs returns the log marginal density of x under g restricted to
+// the observed dimensions obs. A nil obs means all dimensions (equivalent
+// to LogPDF). An empty obs yields 0 (the empty product: every model
+// explains a fully unobserved point equally).
+func (g Gaussian) LogPDFObs(x []float64, obs []int) float64 {
+	if obs == nil {
+		return g.LogPDF(x)
+	}
+	var quad, logDet float64
+	for _, i := range obs {
+		v := g.Var[i]
+		if v < VarianceFloor {
+			v = VarianceFloor
+		}
+		d := x[i] - g.Mean[i]
+		quad += d * d / v
+		logDet += math.Log(v)
+	}
+	return -0.5 * (float64(len(obs))*log2Pi + logDet + quad)
+}

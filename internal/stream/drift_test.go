@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"testing"
+
+	"bayestree/internal/core"
+	"bayestree/internal/dataset"
+)
+
+// Online learning must track concept drift: a classifier that keeps
+// learning from the stream stays accurate on the drifted concept, while a
+// frozen classifier degrades — the incremental-learning motivation of
+// Section 1 ("especially in the light of evolving data the model of a
+// classifier has to be updated using new training data").
+func TestOnlineLearningTracksDrift(t *testing.T) {
+	ds, err := dataset.DriftStream(dataset.DriftSpec{
+		Name: "drift", Size: 6000, Classes: 2, Features: 3,
+		DriftDistance: 0.5, Abrupt: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train both classifiers on the pre-drift head.
+	const head = 1500
+	build := func() *core.Classifier {
+		byClass := map[int][][]float64{}
+		for i := 0; i < head; i++ {
+			byClass[ds.Y[i]] = append(byClass[ds.Y[i]], ds.X[i])
+		}
+		var labels []int
+		var trees []*core.Tree
+		for y := 0; y <= 1; y++ {
+			tree, err := core.NewTree(testConfig(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range byClass[y] {
+				if err := tree.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			labels = append(labels, y)
+			trees = append(trees, tree)
+		}
+		clf, err := core.NewClassifier(labels, trees, core.ClassifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clf
+	}
+	adaptive := build()
+	frozen := build()
+
+	// Stream the rest; score only the post-drift tail (last quarter).
+	const tailStart = 4500
+	var adaptCorrect, frozenCorrect, scored int
+	for i := head; i < ds.Len(); i++ {
+		predA := adaptive.Classify(ds.X[i], 30)
+		predF := frozen.Classify(ds.X[i], 30)
+		if i >= tailStart {
+			scored++
+			if predA == ds.Y[i] {
+				adaptCorrect++
+			}
+			if predF == ds.Y[i] {
+				frozenCorrect++
+			}
+		}
+		// Only the adaptive classifier learns.
+		if err := adaptive.Learn(ds.X[i], ds.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accA := float64(adaptCorrect) / float64(scored)
+	accF := float64(frozenCorrect) / float64(scored)
+	if accA < accF+0.03 {
+		t.Errorf("online learning did not track drift: adaptive %.3f vs frozen %.3f", accA, accF)
+	}
+	if accA < 0.75 {
+		t.Errorf("adaptive post-drift accuracy %.3f too low", accA)
+	}
+}

@@ -1,0 +1,194 @@
+// Package stream simulates the data-stream environments that motivate
+// anytime classification (Section 1): constant streams with fixed
+// inter-arrival times and varying streams (Poisson or bursty arrivals)
+// where the time available per object — and hence the node budget of the
+// anytime classifier — fluctuates. It also provides an online runner that
+// interleaves classification with incremental learning from labelled
+// objects, the "learn incrementally and online" requirement of the paper.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bayestree/internal/core"
+)
+
+// Arrivals generates inter-arrival gaps in abstract time units (seconds).
+type Arrivals interface {
+	// Next returns the gap before the next object arrives.
+	Next(rng *rand.Rand) float64
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// Constant models a constant stream: every object arrives Interval apart.
+type Constant struct{ Interval float64 }
+
+// Next implements Arrivals.
+func (c Constant) Next(*rand.Rand) float64 { return c.Interval }
+
+// Name implements Arrivals.
+func (Constant) Name() string { return "constant" }
+
+// Poisson models a varying stream with exponential gaps of the given mean
+// rate (objects per second).
+type Poisson struct{ Rate float64 }
+
+// Next implements Arrivals.
+func (p Poisson) Next(rng *rand.Rand) float64 {
+	if p.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return rng.ExpFloat64() / p.Rate
+}
+
+// Name implements Arrivals.
+func (Poisson) Name() string { return "poisson" }
+
+// Bursty alternates between a fast phase and a slow phase, each of
+// geometric length — a crude model of the varying load produced by the
+// multi-step health-monitoring setup of [13], where mobile devices send
+// more or less data depending on pre-classification.
+type Bursty struct {
+	FastInterval, SlowInterval float64
+	// SwitchProb is the per-object probability of toggling phases.
+	SwitchProb float64
+}
+
+// Name implements Arrivals.
+func (Bursty) Name() string { return "bursty" }
+
+// Next implements Arrivals. Bursty keeps no state; the runner tracks the
+// phase via the returned closure from NewBurstySource instead.
+func (b Bursty) Next(rng *rand.Rand) float64 {
+	// Stateless fallback: pick a phase at random.
+	if rng.Float64() < 0.5 {
+		return b.FastInterval
+	}
+	return b.SlowInterval
+}
+
+// Budgeter converts the time available for an object into a node budget.
+type Budgeter struct {
+	// NodesPerSecond is the emulated node processing rate.
+	NodesPerSecond float64
+	// MaxNodes caps the budget (0 = no cap).
+	MaxNodes int
+	// MinNodes floors the budget (an object always gets at least this
+	// many reads; 0 is allowed and means the level-0 model may be all
+	// that is used).
+	MinNodes int
+}
+
+// Budget returns the node budget for a gap of the given length.
+func (b Budgeter) Budget(gap float64) int {
+	if math.IsInf(gap, 1) {
+		if b.MaxNodes > 0 {
+			return b.MaxNodes
+		}
+		return 1 << 20
+	}
+	n := int(gap * b.NodesPerSecond)
+	if n < b.MinNodes {
+		n = b.MinNodes
+	}
+	if b.MaxNodes > 0 && n > b.MaxNodes {
+		n = b.MaxNodes
+	}
+	return n
+}
+
+// Item is one stream element: an observation, optionally labelled (in
+// monitoring applications an expert sporadically labels the current
+// status, providing online training data).
+type Item struct {
+	X       []float64
+	Label   int
+	Labeled bool
+}
+
+// Result summarises a stream run.
+type Result struct {
+	Processed   int
+	Classified  int
+	Correct     int
+	Learned     int
+	TotalNodes  int
+	MinBudget   int
+	MaxBudget   int
+	MeanBudget  float64
+	Accuracy    float64
+	BudgetHist  map[int]int
+	Predictions []int
+}
+
+// Run feeds the items through the anytime classifier under the arrival
+// process: each object is classified with the node budget implied by the
+// gap to the next arrival; labelled objects are additionally learned
+// online. The classifier must already cover every label that occurs.
+func Run(clf *core.Classifier, items []Item, arrivals Arrivals, budgeter Budgeter, seed int64) (*Result, error) {
+	if clf == nil {
+		return nil, fmt.Errorf("stream: nil classifier")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{BudgetHist: make(map[int]int), MinBudget: math.MaxInt32}
+	var budgetSum float64
+	for _, it := range items {
+		gap := arrivals.Next(rng)
+		budget := budgeter.Budget(gap)
+		pred := clf.Classify(it.X, budget)
+		res.Predictions = append(res.Predictions, pred)
+		res.Processed++
+		res.Classified++
+		res.TotalNodes += budget
+		budgetSum += float64(budget)
+		res.BudgetHist[bucket(budget)]++
+		if budget < res.MinBudget {
+			res.MinBudget = budget
+		}
+		if budget > res.MaxBudget {
+			res.MaxBudget = budget
+		}
+		if it.Labeled {
+			if pred == it.Label {
+				res.Correct++
+			}
+			if err := clf.Learn(it.X, it.Label); err != nil {
+				return nil, fmt.Errorf("stream: online learning: %w", err)
+			}
+			res.Learned++
+		}
+	}
+	if res.Learned > 0 {
+		res.Accuracy = float64(res.Correct) / float64(res.Learned)
+	}
+	if res.MinBudget == math.MaxInt32 {
+		res.MinBudget = 0
+	}
+	if res.Processed > 0 {
+		res.MeanBudget = budgetSum / float64(res.Processed)
+	}
+	return res, nil
+}
+
+// bucket rounds budgets into coarse histogram bins (0,1,2,5,10,20,50,...).
+func bucket(b int) int {
+	switch {
+	case b <= 2:
+		return b
+	case b <= 5:
+		return 5
+	case b <= 10:
+		return 10
+	case b <= 20:
+		return 20
+	case b <= 50:
+		return 50
+	case b <= 100:
+		return 100
+	default:
+		return 1000
+	}
+}

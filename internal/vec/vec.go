@@ -1,0 +1,267 @@
+// Package vec provides small dense-vector helpers used throughout the
+// Bayes tree implementation. All operations treat vectors as immutable
+// unless the function name says otherwise (the "Into" and "InPlace"
+// variants); dimensions must agree, which is the caller's responsibility
+// and is checked only in debug-style assertions where cheap.
+//
+// The package deliberately stays tiny: the Bayes tree and its substrates
+// only ever need element-wise arithmetic, norms and a handful of
+// reductions on []float64.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clone returns a fresh copy of x.
+func Clone(x []float64) []float64 {
+	if x == nil {
+		return nil
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Zeros returns a new zero vector of dimension d.
+func Zeros(d int) []float64 { return make([]float64, d) }
+
+// Ones returns a new vector of dimension d with every component set to 1.
+func Ones(d int) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// Constant returns a new vector of dimension d with every component set to c.
+func Constant(d int, c float64) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// Add returns x + y as a new vector.
+func Add(x, y []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// AddInPlace adds y into x component-wise and returns x.
+func AddInPlace(x, y []float64) []float64 {
+	for i := range x {
+		x[i] += y[i]
+	}
+	return x
+}
+
+// AddScaledInPlace adds a*y into x component-wise and returns x.
+func AddScaledInPlace(x []float64, a float64, y []float64) []float64 {
+	for i := range x {
+		x[i] += a * y[i]
+	}
+	return x
+}
+
+// Sub returns x - y as a new vector.
+func Sub(x, y []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// Scale returns a*x as a new vector.
+func Scale(a float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = a * x[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every component of x by a and returns x.
+func ScaleInPlace(a float64, x []float64) []float64 {
+	for i := range x {
+		x[i] *= a
+	}
+	return x
+}
+
+// Mul returns the component-wise (Hadamard) product of x and y.
+func Mul(x, y []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * y[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Dist2 returns the squared Euclidean distance between x and y.
+func Dist2(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between x and y.
+func Dist(x, y []float64) float64 { return math.Sqrt(Dist2(x, y)) }
+
+// Sum returns the sum of the components of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the components of x, or 0 for an
+// empty vector.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Min returns the smallest component of x. It panics on an empty vector
+// because there is no sensible zero value.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		panic("vec: Min of empty vector")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest component of x. It panics on an empty vector.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		panic("vec: Max of empty vector")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest component of x, or -1 for an
+// empty vector. Ties resolve to the lowest index.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the smallest component of x, or -1 for an
+// empty vector. Ties resolve to the lowest index.
+func ArgMin(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v < x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Equal reports whether x and y have the same dimension and components.
+func Equal(x, y []float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether x and y have the same dimension and every
+// component pair differs by at most tol in absolute value.
+func AllClose(x, y []float64, tol float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every component of x is finite (neither NaN
+// nor ±Inf).
+func IsFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lerp returns (1-t)*x + t*y as a new vector.
+func Lerp(x, y []float64, t float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = (1-t)*x[i] + t*y[i]
+	}
+	return out
+}
+
+// String formats x compactly for diagnostics, e.g. "[1.000 2.500]".
+func String(x []float64) string {
+	s := "["
+	for i, v := range x {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.3f", v)
+	}
+	return s + "]"
+}

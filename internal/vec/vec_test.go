@@ -1,0 +1,195 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := Clone(x)
+	y[0] = 9
+	if x[0] != 1 {
+		t.Fatalf("Clone aliases the input")
+	}
+	if Clone(nil) != nil {
+		t.Fatalf("Clone(nil) should be nil")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if got := Zeros(3); !Equal(got, []float64{0, 0, 0}) {
+		t.Errorf("Zeros(3) = %v", got)
+	}
+	if got := Ones(2); !Equal(got, []float64{1, 1}) {
+		t.Errorf("Ones(2) = %v", got)
+	}
+	if got := Constant(2, 7.5); !Equal(got, []float64{7.5, 7.5}) {
+		t.Errorf("Constant(2,7.5) = %v", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Add(x, y); !Equal(got, []float64{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(y, x); !Equal(got, []float64{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(2, x); !Equal(got, []float64{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Mul(x, y); !Equal(got, []float64{4, 10, 18}) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Dot(x, y); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	x := []float64{1, 2}
+	AddInPlace(x, []float64{10, 20})
+	if !Equal(x, []float64{11, 22}) {
+		t.Errorf("AddInPlace = %v", x)
+	}
+	AddScaledInPlace(x, 2, []float64{1, 1})
+	if !Equal(x, []float64{13, 24}) {
+		t.Errorf("AddScaledInPlace = %v", x)
+	}
+	ScaleInPlace(0.5, x)
+	if !Equal(x, []float64{6.5, 12}) {
+		t.Errorf("ScaleInPlace = %v", x)
+	}
+}
+
+func TestNormsAndDistances(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Dist([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := Dist2([]float64{1, 1}, []float64{2, 2}); got != 2 {
+		t.Errorf("Dist2 = %v, want 2", got)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5}
+	if got := Sum(x); got != 14 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Mean(x); got != 2.8 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Min(x); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(x); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := ArgMax(x); got != 4 {
+		t.Errorf("ArgMax = %v", got)
+	}
+	if got := ArgMin(x); got != 1 {
+		t.Errorf("ArgMin = %v (want first of ties)", got)
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Errorf("ArgMax/ArgMin of empty should be -1")
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"Min": Min, "Max": Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s of empty vector should panic", name)
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	if Equal([]float64{1}, []float64{1, 2}) {
+		t.Errorf("Equal with different dims")
+	}
+	if !AllClose([]float64{1, 2}, []float64{1.0001, 2.0001}, 1e-3) {
+		t.Errorf("AllClose within tolerance failed")
+	}
+	if AllClose([]float64{1}, []float64{1.1}, 1e-3) {
+		t.Errorf("AllClose outside tolerance passed")
+	}
+	if IsFinite([]float64{1, math.NaN()}) {
+		t.Errorf("IsFinite with NaN")
+	}
+	if IsFinite([]float64{math.Inf(1)}) {
+		t.Errorf("IsFinite with Inf")
+	}
+	if !IsFinite([]float64{0, -1, 1e300}) {
+		t.Errorf("IsFinite rejected finite vector")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	got := Lerp([]float64{0, 10}, []float64{10, 20}, 0.5)
+	if !Equal(got, []float64{5, 15}) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := String([]float64{1, 2.5}); got != "[1.000 2.500]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: addition commutes and Sub(Add(x,y),y) == x (up to fp exactness
+// for these operations, which hold exactly for IEEE adds of the same
+// operands in reverse).
+func TestAddCommutesProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		x, y := a[:], b[:]
+		return Equal(Add(x, y), Add(y, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot(x,x) ≥ 0 and Norm2 is its square root.
+func TestNormProperty(t *testing.T) {
+	f := func(a [6]float64) bool {
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.Abs(a[i]) > 1e150 {
+				return true // skip pathological inputs
+			}
+		}
+		x := a[:]
+		d := Dot(x, x)
+		return d >= 0 && math.Abs(Norm2(x)-math.Sqrt(d)) < 1e-9*(1+math.Sqrt(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lerp endpoints reproduce the inputs.
+func TestLerpEndpointsProperty(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		x, y := a[:], b[:]
+		return Equal(Lerp(x, y, 0), x) && Equal(Lerp(x, y, 1), y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
