@@ -130,5 +130,25 @@ func RunStream(clf *Classifier, items []StreamItem, rate float64, budgeter Budge
 	return stream.Run(clf, items, stream.Poisson{Rate: rate}, budgeter, seed)
 }
 
+// RunStreamBatch is RunStream with windowed parallel classification: each
+// window of the given size is classified by a pool of workers (per-object
+// budgets drawn exactly as in RunStream), then the window's labelled items
+// are learned in arrival order. window ≤ 1 reproduces RunStream exactly;
+// larger windows trade label freshness within a window for throughput.
+func RunStreamBatch(clf *Classifier, items []StreamItem, rate float64, budgeter Budgeter, seed int64, window, workers int) (*StreamResult, error) {
+	return stream.RunBatch(clf, items, stream.Poisson{Rate: rate}, budgeter, seed, window, workers)
+}
+
+// BatchClassify classifies every object of xs with the given node budget
+// using a pool of workers (workers ≤ 0 = GOMAXPROCS) and returns the
+// predictions in input order. Classification is read-only, so any number
+// of workers may share one classifier; per-worker query and cursor state
+// is pooled, making steady-state batch serving allocation-free. Use
+// Classifier.Classify for single objects and this for throughput-bound
+// batches. Do not Learn on the classifier while a batch is in flight.
+func BatchClassify(clf *Classifier, xs [][]float64, budget, workers int) []int {
+	return clf.ClassifyBatch(xs, budget, workers)
+}
+
 // LoaderNames lists the available bulk-loading strategies.
 func LoaderNames() []string { return bulkload.Names() }

@@ -21,6 +21,7 @@ package bayestree
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"bayestree/internal/bulkload"
@@ -378,5 +379,57 @@ func BenchmarkDensityQuery(b *testing.B) {
 			cur.Refine()
 		}
 		_ = cur.LogDensity()
+		cur.Close()
+	}
+}
+
+// BenchmarkRefine measures the steady-state anytime refine loop per
+// descent strategy: one pooled cursor per query, 20 node reads, frozen
+// Gaussians on the hot path. The seed path (CF.Gaussian per entry per
+// query, boxing container/heap, uncached root summary and bandwidths) ran
+// this at ~35-37 µs with 45-73 allocs per query; the frozen fast path must
+// hold 0 allocs/op (see EXPERIMENTS.md for recorded numbers).
+func BenchmarkRefine(b *testing.B) {
+	ds := benchDataset(b, "pendigits", benchScale)
+	loader, _ := bulkload.ByName("hilbert")
+	tree, err := loader.Build(ds.ByClass()[0], core.DefaultConfig(ds.Dim()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []core.Strategy{core.DescentGlobal, core.DescentBFT, core.DescentDFT} {
+		b.Run(strat.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cur := tree.NewCursor(ds.X[i%ds.Len()], strat, core.PriorityProbabilistic)
+				for s := 0; s < 20; s++ {
+					cur.Refine()
+				}
+				_ = cur.LogDensity()
+				cur.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyBatch measures the parallel batch-classification engine
+// at increasing worker counts against the sequential loop, with custom
+// speedup metrics. Worker count 1 exercises the pooled sequential path.
+func BenchmarkClassifyBatch(b *testing.B) {
+	ds := benchDataset(b, "pendigits", benchScale)
+	loader, _ := bulkload.ByName("emtopdown")
+	clf, err := eval.TrainForest(ds, loader, core.DefaultConfig, core.ClassifierOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := ds.X
+	const budget = 25
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clf.ClassifyBatch(xs, budget, workers)
+			}
+			b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "objects/s")
+		})
 	}
 }

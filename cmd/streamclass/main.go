@@ -9,7 +9,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"bayestree/internal/bulkload"
 	"bayestree/internal/core"
@@ -27,6 +29,8 @@ func main() {
 		nps     = flag.Float64("nps", 5000, "emulated node reads per second")
 		trainPc = flag.Float64("train", 0.5, "fraction used for the initial training window")
 		seed    = flag.Int64("seed", 42, "seed")
+		window  = flag.Int("window", 1, "batch window size (1 = strictly sequential online run)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel classification workers per window")
 	)
 	flag.Parse()
 
@@ -57,11 +61,15 @@ func main() {
 		items = append(items, stream.Item{X: ds.X[i], Label: ds.Y[i], Labeled: true})
 	}
 	budgeter := stream.Budgeter{NodesPerSecond: *nps, MaxNodes: 500}
-	res, err := stream.Run(clf, items, stream.Poisson{Rate: *rate}, budgeter, *seed)
+	start := time.Now()
+	res, err := stream.RunBatch(clf, items, stream.Poisson{Rate: *rate}, budgeter, *seed, *window, *workers)
 	if err != nil {
 		fatalf("stream: %v", err)
 	}
+	elapsed := time.Since(start)
 	fmt.Printf("stream of %d objects at rate %.0f/s, %.0f node-reads/s\n", res.Processed, *rate, *nps)
+	fmt.Printf("processed in %v (%.0f objects/s wall clock, window=%d, workers=%d)\n",
+		elapsed.Round(time.Millisecond), float64(res.Processed)/elapsed.Seconds(), *window, *workers)
 	fmt.Printf("accuracy (online, anytime budgets): %.4f\n", res.Accuracy)
 	fmt.Printf("node budget: min=%d mean=%.1f max=%d\n", res.MinBudget, res.MeanBudget, res.MaxBudget)
 	fmt.Printf("learned online: %d objects\n", res.Learned)

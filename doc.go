@@ -18,6 +18,31 @@
 // packages (core, bulkload, dataset, eval, stream, clustree, and the
 // substrates em, mixture, stats, kernels, mbr, rstar, sfc, vec).
 //
+// # The frozen-Gaussian fast path
+//
+// Anytime refinement is the serving hot path, and it is specialised
+// accordingly. Every tree entry eagerly caches a frozen form of its
+// cluster feature's Gaussian (mean, inverse variances, precomputed
+// log-normaliser and log count), and each tree caches its query-time
+// constants (root summary, Silverman bandwidths, frozen leaf kernel).
+// The caches are invalidated by Insert — and only by Insert — and
+// entries whose cluster features change are always rebuilt with fresh
+// caches, so a cursor created after an insert sees the new data
+// exactly. Cursors and classification queries are pooled: calling
+// Close on them recycles their internal buffers, making steady-state
+// classification allocation-free. Do not interleave Learn/Insert with
+// in-flight queries on the same trees.
+//
+// # Batch classification
+//
+// Classification is read-only, so BatchClassify (and
+// Classifier.ClassifyBatch / ClassifyBatchBudgets) fan a batch of
+// objects over a worker pool sharing one classifier — the throughput
+// path for stream serving. Use per-item Classify when each object must
+// see every earlier label; use batches when objects may share a model
+// snapshot. RunStreamBatch combines both for online streams: windows
+// are classified in parallel, labels are learned between windows.
+//
 // Quick start:
 //
 //	ds, _ := bayestree.LoadCSV("train.csv", bayestree.CSVOptions{LabelColumn: -1})

@@ -1,0 +1,3 @@
+module bayestree
+
+go 1.22

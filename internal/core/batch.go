@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements parallel batch classification. Anytime
+// classification is read-only against the per-class trees, so a batch of
+// objects can be classified by a pool of workers sharing one classifier;
+// each worker reuses pooled queries and cursors, so steady-state batch
+// serving allocates only the result slice.
+
+// ClassifyBatch classifies every object of xs with the given node budget
+// (negative = until fully refined) using a worker pool and returns the
+// predictions in input order. workers ≤ 0 uses GOMAXPROCS. The classifier
+// must not be mutated (Learn) while a batch is in flight.
+func (c *Classifier) ClassifyBatch(xs [][]float64, budget, workers int) []int {
+	preds := make([]int, len(xs))
+	c.classifyInto(xs, func(int) int { return budget }, workers, preds)
+	return preds
+}
+
+// ClassifyBatchBudgets classifies xs[i] with budgets[i] node reads — the
+// batch form a stream server needs, where every object's budget is set by
+// its own inter-arrival gap.
+func (c *Classifier) ClassifyBatchBudgets(xs [][]float64, budgets []int, workers int) ([]int, error) {
+	if len(budgets) != len(xs) {
+		return nil, fmt.Errorf("core: %d budgets for %d objects", len(budgets), len(xs))
+	}
+	preds := make([]int, len(xs))
+	c.classifyInto(xs, func(i int) int { return budgets[i] }, workers, preds)
+	return preds, nil
+}
+
+// classifyInto distributes the batch over workers via an atomic work
+// counter (cheap dynamic balancing: anytime queries with equal budgets
+// still vary in cost with tree shape).
+func (c *Classifier) classifyInto(xs [][]float64, budget func(int) int, workers int, preds []int) {
+	workers = clampWorkers(workers, len(xs))
+	if workers <= 1 {
+		for i, x := range xs {
+			preds[i] = c.Classify(x, budget(i))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				preds[i] = c.Classify(xs[i], budget(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ClassifyBatch classifies every object of xs against the multi-class tree
+// with the given node budget using a worker pool, in input order. The tree
+// must not be mutated while the batch is in flight.
+func (t *MultiTree) ClassifyBatch(xs [][]float64, opts ClassifierOptions, budget, workers int) ([]int, error) {
+	if t.size == 0 {
+		return nil, fmt.Errorf("core: batch against empty multi tree")
+	}
+	preds := make([]int, len(xs))
+	workers = clampWorkers(workers, len(xs))
+	if workers <= 1 {
+		for i, x := range xs {
+			pred, err := t.Classify(x, opts, budget)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = pred
+		}
+		return preds, nil
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				pred, err := t.Classify(xs[i], opts, budget)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				preds[i] = pred
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return preds, nil
+}
+
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"bayestree/internal/stats"
 )
@@ -43,6 +43,9 @@ type Classifier struct {
 	trees     []*Tree
 	logPriors []float64
 	opts      ClassifierOptions
+	// queryPool recycles Query objects (and, through them, the per-class
+	// cursors) so a stream of classifications allocates nothing per object.
+	queryPool sync.Pool
 }
 
 // NewClassifier builds a classifier from per-class trees. labels[i] is the
@@ -149,24 +152,61 @@ type Query struct {
 	cursors []*Cursor
 	turn    int
 	reads   int
+	// scoreBuf and rankBuf are reusable scratch for scores() and Step(),
+	// keeping the per-step qbk bookkeeping allocation-free.
+	scoreBuf []float64
+	rankBuf  []ranked
 }
 
-// NewQuery starts an anytime classification of x.
+type ranked struct {
+	idx   int
+	score float64
+}
+
+// NewQuery starts an anytime classification of x. Queries are drawn from a
+// per-classifier pool; call Close when done to recycle the query and its
+// cursors (optional, but it makes steady-state classification
+// allocation-free).
 func (c *Classifier) NewQuery(x []float64) *Query {
-	q := &Query{c: c, cursors: make([]*Cursor, len(c.trees))}
+	q, _ := c.queryPool.Get().(*Query)
+	if q == nil {
+		q = &Query{cursors: make([]*Cursor, len(c.trees))}
+	}
+	q.c = c
+	q.turn = 0
+	q.reads = 0
 	for i, t := range c.trees {
 		q.cursors[i] = t.NewCursor(x, c.opts.Strategy, c.opts.Priority)
 	}
 	return q
 }
 
+// Close releases the query and its per-class cursors back to their pools.
+// The query must not be used afterwards.
+func (q *Query) Close() {
+	if q == nil || q.c == nil {
+		return
+	}
+	for i, cur := range q.cursors {
+		cur.Close()
+		q.cursors[i] = nil
+	}
+	c := q.c
+	q.c = nil
+	c.queryPool.Put(q)
+}
+
 // NodesRead returns the total nodes read across all class trees.
 func (q *Query) NodesRead() int { return q.reads }
 
 // scores returns the current log posteriors (up to the shared evidence
-// constant).
+// constant). The returned slice is the query's scratch buffer and is
+// overwritten by the next call.
 func (q *Query) scores() []float64 {
-	s := make([]float64, len(q.cursors))
+	if cap(q.scoreBuf) < len(q.cursors) {
+		q.scoreBuf = make([]float64, len(q.cursors))
+	}
+	s := q.scoreBuf[:len(q.cursors)]
 	for i, cur := range q.cursors {
 		s[i] = q.c.logPriors[i] + cur.LogDensity()
 	}
@@ -228,11 +268,10 @@ func (q *Query) Exhausted() bool {
 // current posterior, then give the next of the top-k (in turns) the right
 // to refine. It reports whether a node was read.
 func (q *Query) Step() bool {
-	type ranked struct {
-		idx   int
-		score float64
+	if cap(q.rankBuf) < len(q.cursors) {
+		q.rankBuf = make([]ranked, 0, len(q.cursors))
 	}
-	rs := make([]ranked, 0, len(q.cursors))
+	rs := q.rankBuf[:0]
 	ss := q.scores()
 	for i, cur := range q.cursors {
 		if !cur.Exhausted() {
@@ -242,7 +281,13 @@ func (q *Query) Step() bool {
 	if len(rs) == 0 {
 		return false
 	}
-	sort.SliceStable(rs, func(a, b int) bool { return rs[a].score > rs[b].score })
+	// Stable insertion sort by descending score: class counts are small,
+	// and avoiding sort.SliceStable keeps the step allocation-free.
+	for a := 1; a < len(rs); a++ {
+		for b := a; b > 0 && rs[b].score > rs[b-1].score; b-- {
+			rs[b], rs[b-1] = rs[b-1], rs[b]
+		}
+	}
 	k := q.c.opts.K
 	if k > len(rs) {
 		k = len(rs)
@@ -276,7 +321,9 @@ func (c *Classifier) OutlierScore(x []float64, budget int) float64 {
 			break
 		}
 	}
-	return -q.LogEvidence()
+	score := -q.LogEvidence()
+	q.Close()
+	return score
 }
 
 // Classify runs an anytime classification of x with a budget of node
@@ -289,7 +336,9 @@ func (c *Classifier) Classify(x []float64, budget int) int {
 			break
 		}
 	}
-	return q.Predict()
+	pred := q.Predict()
+	q.Close()
+	return pred
 }
 
 // ClassifyTrace runs an anytime classification and records the prediction
@@ -298,8 +347,18 @@ func (c *Classifier) Classify(x []float64, budget int) int {
 // repeated — exactly how the paper's "accuracy after each node" curves
 // are defined.
 func (c *Classifier) ClassifyTrace(x []float64, budget int) []int {
+	return c.ClassifyTraceInto(x, budget, nil)
+}
+
+// ClassifyTraceInto is ClassifyTrace writing into a caller-provided buffer
+// (grown when too small), so curve runners can trace many objects without
+// re-allocating.
+func (c *Classifier) ClassifyTraceInto(x []float64, budget int, trace []int) []int {
+	if cap(trace) < budget+1 {
+		trace = make([]int, budget+1)
+	}
+	trace = trace[:budget+1]
 	q := c.NewQuery(x)
-	trace := make([]int, budget+1)
 	trace[0] = q.Predict()
 	for t := 1; t <= budget; t++ {
 		if q.Step() {
@@ -308,5 +367,6 @@ func (c *Classifier) ClassifyTrace(x []float64, budget int) []int {
 			trace[t] = trace[t-1]
 		}
 	}
+	q.Close()
 	return trace
 }

@@ -1,9 +1,10 @@
 package core
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
+	"bayestree/internal/kernels"
 	"bayestree/internal/stats"
 )
 
@@ -66,24 +67,15 @@ type refElem struct {
 	seq     int // FIFO tie-break for determinism
 }
 
-type refHeap []refElem
-
-func (h refHeap) Len() int { return len(h) }
-func (h refHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio > h[j].prio
+// before orders the max-heap: highest prio first, FIFO seq as tie-break.
+func (e refElem) before(other refElem) bool {
+	if e.prio != other.prio {
+		return e.prio > other.prio
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < other.seq
 }
-func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refElem)) }
-func (h *refHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+
+type refHeap = pheap[refElem]
 
 // Cursor is an in-progress anytime probability density query against one
 // Bayes tree (Definition 3 plus the time-step refinement of Section 2.2).
@@ -102,13 +94,19 @@ type Cursor struct {
 	head int
 	seq  int
 
-	acc   float64 // Σ exp(logTerm − shift) over the current frontier
-	shift float64
-	reads int
-	logN  float64
-	h     []float64 // kernel bandwidths
-	obs   []int     // observed dims for missing-value queries (nil = all)
+	acc    float64 // Σ exp(logTerm − shift) over the current frontier
+	shift  float64
+	reads  int
+	logN   float64
+	h      []float64 // kernel bandwidths
+	obs    []int     // observed dims for missing-value queries (nil = all)
+	obsBuf []int     // retained backing array for obs across pooled reuses
 }
+
+// cursorPool recycles cursors — and, crucially, their heap/FIFO backing
+// arrays and observed-dimension scratch — across queries. A stream serving
+// one query per arrival would otherwise regrow these for every object.
+var cursorPool = sync.Pool{New: func() interface{} { return new(Cursor) }}
 
 // Cursorable carries what a cursor needs from a tree; it decouples the
 // cursor from Tree so MultiTree can reuse the machinery.
@@ -117,6 +115,9 @@ type Cursorable struct {
 	root Entry
 	n    float64
 	bw   []float64
+	// kern is the leaf kernel frozen at the tree's bandwidths, so leaf
+	// refinement performs no bandwidth-derived recomputation per point.
+	kern kernels.FrozenKernel
 }
 
 // NewCursor starts an anytime density query for x against the tree.
@@ -124,33 +125,61 @@ type Cursorable struct {
 // marginal over the observed dimensions (Section 4.2 extension). It
 // returns nil for an empty tree.
 func (t *Tree) NewCursor(x []float64, strategy Strategy, priority Priority) *Cursor {
-	rootEntry, ok := t.RootEntry()
-	if !ok {
+	ct := t.cursorable()
+	if ct == nil {
 		return nil
 	}
-	ct := &Cursorable{cfg: t.cfg, root: rootEntry, n: rootEntry.CF.N, bw: t.Bandwidth()}
 	return newCursor(ct, x, strategy, priority)
 }
 
 func newCursor(ct *Cursorable, x []float64, strategy Strategy, priority Priority) *Cursor {
-	c := &Cursor{
-		tree:     ct,
-		x:        x,
-		strategy: strategy,
-		priority: priority,
-		logN:     math.Log(ct.n),
-		h:        ct.bw,
-		acc:      0,
-		shift:    math.Inf(-1),
-		obs:      stats.ObservedDims(x),
-	}
+	c := cursorPool.Get().(*Cursor)
+	c.tree = ct
+	c.x = x
+	c.strategy = strategy
+	c.priority = priority
+	c.heap = c.heap[:0]
+	c.fifo = c.fifo[:0]
+	c.head = 0
+	c.seq = 0
+	c.acc = 0
+	c.shift = math.Inf(-1)
+	c.reads = 0
+	c.logN = math.Log(ct.n)
+	c.h = ct.bw
+	c.obs, c.obsBuf = stats.ObservedDimsInto(x, c.obsBuf)
 	// The level-0 model: a single Gaussian over the entire population,
 	// available without reading any node.
-	g := ct.root.CF.Gaussian()
-	logTerm := g.LogPDFObs(x, c.obs) // weight n/n = 1
+	logTerm := ct.root.Frozen().LogPDFObs(x, c.obs) // weight n/n = 1
 	c.push(refElem{logTerm: logTerm, prio: c.prioFor(&ct.root, logTerm), child: ct.root.Child})
 	c.addTerm(logTerm)
 	return c
+}
+
+// Close returns the cursor to the package pool so later queries can reuse
+// its backing arrays. The cursor must not be used afterwards. Calling
+// Close is optional — an unclosed cursor is simply garbage collected — but
+// closing is what makes the steady-state query path allocation-free.
+func (c *Cursor) Close() {
+	if c == nil || c.tree == nil {
+		// Nil or already closed: a double Close must not double-Put the
+		// cursor, or two later queries would share one pooled instance.
+		return
+	}
+	// Clear both queues through their full capacity: consumed FIFO
+	// prefixes and popped DFT suffixes linger in the backing arrays and
+	// would otherwise pin tree nodes from the pool.
+	h := c.heap[:cap(c.heap)]
+	clear(h)
+	c.heap = h[:0]
+	f := c.fifo[:cap(c.fifo)]
+	clear(f)
+	c.fifo = f[:0]
+	c.tree = nil
+	c.x = nil
+	c.h = nil
+	c.obs = nil
+	cursorPool.Put(c)
 }
 
 // prioFor computes the refinement priority of an entry.
@@ -166,7 +195,7 @@ func (c *Cursor) push(e refElem) {
 	c.seq++
 	switch c.strategy {
 	case DescentGlobal:
-		heap.Push(&c.heap, e)
+		c.heap.push(e)
 	default:
 		c.fifo = append(c.fifo, e)
 	}
@@ -178,16 +207,20 @@ func (c *Cursor) pop() (refElem, bool) {
 		if len(c.heap) == 0 {
 			return refElem{}, false
 		}
-		return heap.Pop(&c.heap).(refElem), true
+		return c.heap.pop(), true
 	case DescentBFT:
 		if c.head >= len(c.fifo) {
 			return refElem{}, false
 		}
 		e := c.fifo[c.head]
 		c.head++
-		// Periodically release consumed prefix.
+		// Periodically compact the consumed prefix in place: sliding the
+		// live tail down reuses the existing backing array instead of
+		// allocating a fresh slice on every compaction.
 		if c.head > 1024 && c.head*2 > len(c.fifo) {
-			c.fifo = append([]refElem(nil), c.fifo[c.head:]...)
+			n := copy(c.fifo, c.fifo[c.head:])
+			clear(c.fifo[n:]) // drop node pointers in the vacated tail
+			c.fifo = c.fifo[:n]
 			c.head = 0
 		}
 		return e, true
@@ -268,15 +301,15 @@ func (c *Cursor) Refine() bool {
 	n := e.child
 	if n.leaf {
 		for _, p := range n.points {
-			logTerm := -c.logN + c.tree.cfg.Kernel.LogDensityObs(c.x, p, c.h, c.obs)
+			logTerm := -c.logN + c.tree.kern.LogDensityObs(c.x, p, c.obs)
 			c.addTerm(logTerm)
 		}
 		return true
 	}
 	for i := range n.entries {
 		en := &n.entries[i]
-		g := en.CF.Gaussian()
-		logTerm := math.Log(en.CF.N) - c.logN + g.LogPDFObs(c.x, c.obs)
+		f := en.Frozen()
+		logTerm := f.LogN - c.logN + f.LogPDFObs(c.x, c.obs)
 		c.push(refElem{logTerm: logTerm, prio: c.prioFor(en, logTerm), child: en.Child})
 		c.addTerm(logTerm)
 	}

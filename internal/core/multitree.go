@@ -1,10 +1,11 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"bayestree/internal/kernels"
 	"bayestree/internal/mbr"
 	"bayestree/internal/stats"
 )
@@ -29,6 +30,12 @@ type MultiEntry struct {
 	CFs   []stats.CF // indexed by class index; CFs[c].N == 0 when absent
 	Total stats.CF
 	Child *MultiNode
+
+	// frozen caches the precomputed per-class Gaussians (honouring the
+	// tree's variance-pooling option). summarize populates it eagerly, so
+	// concurrent queries never derive a Gaussian from the cluster features
+	// on the hot path. Entries for absent classes are left zero.
+	frozen []stats.FrozenGaussian
 }
 
 // MultiNode is a node of the multi-class Bayes tree.
@@ -70,6 +77,21 @@ type MultiTree struct {
 	root   *MultiNode
 	size   int
 	counts []float64
+	// queryState caches the per-query constants (root summary, per-class
+	// bandwidths and log counts); built on first query, invalidated by
+	// Insert.
+	queryState atomic.Pointer[multiQueryState]
+}
+
+// multiQueryState holds what every MultiQuery needs but no query should
+// recompute: the root summary (a full tree walk), the per-class Silverman
+// bandwidths and the per-class log counts.
+type multiQueryState struct {
+	root  MultiEntry
+	bw    [][]float64
+	logNc []float64
+	// kern holds the leaf kernel frozen at each class's bandwidths.
+	kern []kernels.FrozenKernel
 }
 
 // NewMultiTree creates an empty multi-class tree over the given class
@@ -135,7 +157,49 @@ func (t *MultiTree) summarize(n *MultiNode) MultiEntry {
 			e.Total.Merge(n.entries[i].Total)
 		}
 	}
+	t.freeze(&e)
 	return e
+}
+
+// freeze precomputes the per-class Gaussians of an entry, honouring the
+// variance-pooling option. With pooled variance all classes share one
+// inverse-variance vector (aliased, read-only), so freezing stays cheap
+// even for many classes.
+func (t *MultiTree) freeze(e *MultiEntry) {
+	e.frozen = make([]stats.FrozenGaussian, len(e.CFs))
+	if t.mopts.PooledVariance {
+		shared := stats.FrozenFromMoments(nil, e.Total.Variance())
+		for c := range e.CFs {
+			if e.CFs[c].N <= 0 {
+				continue
+			}
+			f := shared
+			f.Mean = e.CFs[c].Mean()
+			f.LogN = math.Log(e.CFs[c].N)
+			e.frozen[c] = f
+		}
+		return
+	}
+	for c := range e.CFs {
+		if e.CFs[c].N <= 0 {
+			continue
+		}
+		e.frozen[c] = stats.Freeze(&e.CFs[c])
+	}
+}
+
+// classFrozen returns the cached per-class Gaussian of an entry, deriving
+// it on the fly (without storing) for hand-built entries.
+func (t *MultiTree) classFrozen(e *MultiEntry, c int) *stats.FrozenGaussian {
+	if c < len(e.frozen) && e.frozen[c].Mean != nil {
+		return &e.frozen[c]
+	}
+	g := t.classGaussian(e, c)
+	f := g.Freeze()
+	if e.CFs[c].N > 0 {
+		f.LogN = math.Log(e.CFs[c].N)
+	}
+	return &f
 }
 
 // Insert adds a labeled observation (R*-style, as in Tree.Insert but
@@ -158,6 +222,7 @@ func (t *MultiTree) Insert(x []float64, label int) error {
 	t.insertPoint(LabeledPoint{X: cp, Label: label})
 	t.size++
 	t.counts[ci]++
+	t.queryState.Store(nil) // cached root summary and bandwidths are stale
 	return nil
 }
 
@@ -192,8 +257,11 @@ func (t *MultiTree) fixOverflow(path []*MultiNode) {
 		n := path[i]
 		over := (n.leaf && len(n.points) > t.cfg.MaxLeaf) || (!n.leaf && len(n.entries) > t.cfg.MaxFanout)
 		if !over {
+			// As in Tree.fixOverflow: one full refresh of this prefix
+			// covers all remaining levels (they gained no entries), so
+			// stop instead of re-summarizing per level.
 			t.refreshPath(path[:i+1])
-			continue
+			return
 		}
 		var left, right *MultiNode
 		if n.leaf {
@@ -231,9 +299,9 @@ func (t *MultiTree) refreshPath(path []*MultiNode) {
 	}
 }
 
-// bandwidths returns the per-class Silverman bandwidth vectors.
-func (t *MultiTree) bandwidths() [][]float64 {
-	root := t.summarize(t.root)
+// bandwidths returns the per-class Silverman bandwidth vectors for an
+// already computed root summary.
+func (t *MultiTree) bandwidths(root *MultiEntry) [][]float64 {
 	out := make([][]float64, len(t.labels))
 	for c := range t.labels {
 		cf := root.CFs[c]
@@ -246,6 +314,32 @@ func (t *MultiTree) bandwidths() [][]float64 {
 		out[c] = stats.SilvermanBandwidth(sigma, n, t.cfg.Dim)
 	}
 	return out
+}
+
+// queryConsts returns the cached query-time constants, rebuilding them on
+// first use after a mutation (a benign publication race builds identical
+// values).
+func (t *MultiTree) queryConsts() *multiQueryState {
+	if st := t.queryState.Load(); st != nil {
+		return st
+	}
+	root := t.summarize(t.root)
+	st := &multiQueryState{
+		root:  root,
+		bw:    t.bandwidths(&root),
+		logNc: make([]float64, len(t.labels)),
+		kern:  make([]kernels.FrozenKernel, len(t.labels)),
+	}
+	for c := range st.logNc {
+		if t.counts[c] > 0 {
+			st.logNc[c] = math.Log(t.counts[c])
+		} else {
+			st.logNc[c] = math.Inf(1) // class absent: densities stay zero
+		}
+		st.kern[c] = kernels.FreezeKernel(t.cfg.Kernel, st.bw[c])
+	}
+	t.queryState.Store(st)
+	return st
 }
 
 // classGaussian returns the Gaussian contributed by entry e for class c,
@@ -265,24 +359,15 @@ type mElem struct {
 	seq      int
 }
 
-type mHeap []mElem
-
-func (h mHeap) Len() int { return len(h) }
-func (h mHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio > h[j].prio
+// before orders the max-heap: highest prio first, FIFO seq as tie-break.
+func (e mElem) before(other mElem) bool {
+	if e.prio != other.prio {
+		return e.prio > other.prio
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < other.seq
 }
-func (h mHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mHeap) Push(x interface{}) { *h = append(*h, x.(mElem)) }
-func (h *mHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+
+type mHeap = pheap[mElem]
 
 // MultiQuery is an in-progress anytime classification against a
 // MultiTree. One Step refines all class models simultaneously.
@@ -297,6 +382,7 @@ type MultiQuery struct {
 	accs   []float64
 	shifts []float64
 	bw     [][]float64
+	kern   []kernels.FrozenKernel
 	logNc  []float64
 	obs    []int
 	reads  int
@@ -308,26 +394,22 @@ func (t *MultiTree) NewQuery(x []float64, opts ClassifierOptions) (*MultiQuery, 
 	if t.size == 0 {
 		return nil, fmt.Errorf("core: query against empty multi tree")
 	}
+	st := t.queryConsts()
 	q := &MultiQuery{
 		t:      t,
 		x:      x,
 		opts:   opts,
 		accs:   make([]float64, len(t.labels)),
 		shifts: make([]float64, len(t.labels)),
-		bw:     t.bandwidths(),
-		logNc:  make([]float64, len(t.labels)),
+		bw:     st.bw,
+		kern:   st.kern,
+		logNc:  st.logNc,
 		obs:    stats.ObservedDims(x),
 	}
 	for c := range q.shifts {
 		q.shifts[c] = math.Inf(-1)
-		if t.counts[c] > 0 {
-			q.logNc[c] = math.Log(t.counts[c])
-		} else {
-			q.logNc[c] = math.Inf(1) // class absent: densities stay zero
-		}
 	}
-	root := t.summarize(t.root)
-	q.pushEntry(&root)
+	q.pushEntry(&st.root)
 	return q, nil
 }
 
@@ -341,8 +423,8 @@ func (q *MultiQuery) pushEntry(e *MultiEntry) {
 			terms[c] = math.Inf(-1)
 			continue
 		}
-		g := q.t.classGaussian(e, c)
-		terms[c] = math.Log(e.CFs[c].N) - q.logNc[c] + g.LogPDFObs(q.x, q.obs)
+		f := q.t.classFrozen(e, c)
+		terms[c] = f.LogN - q.logNc[c] + f.LogPDFObs(q.x, q.obs)
 		q.addTerm(c, terms[c])
 	}
 	el := mElem{logTerms: terms, child: e.Child, seq: q.seq}
@@ -350,7 +432,7 @@ func (q *MultiQuery) pushEntry(e *MultiEntry) {
 	el.prio = q.prioFor(e, terms)
 	switch q.opts.Strategy {
 	case DescentGlobal:
-		heap.Push(&q.heap, el)
+		q.heap.push(el)
 	default:
 		q.fifo = append(q.fifo, el)
 	}
@@ -427,7 +509,7 @@ func (q *MultiQuery) pop() (mElem, bool) {
 		if len(q.heap) == 0 {
 			return mElem{}, false
 		}
-		return heap.Pop(&q.heap).(mElem), true
+		return q.heap.pop(), true
 	case DescentBFT:
 		if q.head >= len(q.fifo) {
 			return mElem{}, false
@@ -474,7 +556,7 @@ func (q *MultiQuery) Step() bool {
 			if math.IsInf(q.logNc[c], 1) {
 				continue
 			}
-			l := -q.logNc[c] + q.t.cfg.Kernel.LogDensityObs(q.x, p.X, q.bw[c], q.obs)
+			l := -q.logNc[c] + q.kern[c].LogDensityObs(q.x, p.X, q.obs)
 			q.addTerm(c, l)
 		}
 		return true
@@ -530,11 +612,21 @@ func (t *MultiTree) Classify(x []float64, opts ClassifierOptions, budget int) (i
 // ClassifyTrace records the prediction after every node read, as
 // Classifier.ClassifyTrace does for the per-class forest.
 func (t *MultiTree) ClassifyTrace(x []float64, opts ClassifierOptions, budget int) ([]int, error) {
+	trace, err := t.ClassifyTraceInto(x, opts, budget, nil)
+	return trace, err
+}
+
+// ClassifyTraceInto is ClassifyTrace writing into a caller-provided buffer
+// (grown when too small).
+func (t *MultiTree) ClassifyTraceInto(x []float64, opts ClassifierOptions, budget int, trace []int) ([]int, error) {
 	q, err := t.NewQuery(x, opts)
 	if err != nil {
 		return nil, err
 	}
-	trace := make([]int, budget+1)
+	if cap(trace) < budget+1 {
+		trace = make([]int, budget+1)
+	}
+	trace = trace[:budget+1]
 	trace[0] = q.Predict()
 	for i := 1; i <= budget; i++ {
 		if q.Step() {

@@ -1,0 +1,52 @@
+package core
+
+// pheap is a hand-inlined binary max-heap shared by the single-tree and
+// multi-class frontiers. It exists instead of container/heap because the
+// interface-based API boxes every pushed and popped element — one
+// allocation per frontier entry on the query hot path. The element type
+// provides the ordering via its before method (highest priority first,
+// FIFO seq tie-break, a total order); generic instantiation keeps the
+// comparisons direct calls.
+type pheap[T interface{ before(T) bool }] []T
+
+func (h *pheap[T]) push(e T) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *pheap[T]) pop() T {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	var zero T
+	s[n] = zero // release node pointers held in the vacated slot
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && s[r].before(s[l]) {
+			best = r
+		}
+		if !s[best].before(s[i]) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"bayestree/internal/kernels"
 	"bayestree/internal/mbr"
 	"bayestree/internal/stats"
 )
@@ -25,11 +27,30 @@ type Entry struct {
 	Rect  mbr.Rect
 	CF    stats.CF
 	Child *Node
+
+	// frozen caches the precomputed form of CF's Gaussian. summarize
+	// populates it eagerly whenever an entry is (re)built, so concurrent
+	// queries only ever read it; it moves with the entry value and stays
+	// valid as long as CF is unchanged (entries whose CF changes are
+	// always rebuilt through summarize).
+	frozen *stats.FrozenGaussian
 }
 
 // Gaussian returns the mixture component this entry contributes to a
 // probability density query.
 func (e *Entry) Gaussian() stats.Gaussian { return e.CF.Gaussian() }
+
+// Frozen returns the cached precomputed Gaussian of the entry's cluster
+// feature. Entries built by the tree always carry the cache; for
+// hand-built entries it is derived on the fly (without storing, so
+// concurrent readers stay race-free).
+func (e *Entry) Frozen() *stats.FrozenGaussian {
+	if e.frozen != nil {
+		return e.frozen
+	}
+	f := stats.Freeze(&e.CF)
+	return &f
+}
 
 // IsLeaf reports whether the node is a leaf.
 func (n *Node) IsLeaf() bool { return n.leaf }
@@ -52,6 +73,10 @@ type Tree struct {
 	// balanced is false for trees built by loaders that give up balance
 	// (the paper's EMTopDown "may result in an unbalanced tree").
 	balanced bool
+	// queryState caches the per-tree constants every cursor needs (root
+	// summary, total count, bandwidths). It is built on first use, shared
+	// by concurrent read-only queries and invalidated by Insert.
+	queryState atomic.Pointer[Cursorable]
 }
 
 // NewTree returns an empty Bayes tree.
@@ -92,12 +117,42 @@ func (t *Tree) Bandwidth() []float64 {
 	if !ok {
 		return make([]float64, t.cfg.Dim)
 	}
+	return t.bandwidthFrom(e)
+}
+
+// bandwidthFrom derives the Silverman bandwidths from an already computed
+// root summary, sparing a second tree walk.
+func (t *Tree) bandwidthFrom(e Entry) []float64 {
 	variance := e.CF.Variance()
 	sigma := make([]float64, len(variance))
 	for i, v := range variance {
 		sigma[i] = math.Sqrt(v)
 	}
 	return stats.SilvermanBandwidth(sigma, t.size, t.cfg.Dim)
+}
+
+// cursorable returns the cached query-time constants, building them on
+// first use after a mutation. A benign publication race (two goroutines
+// building the same state) is possible but both build identical values
+// from the same immutable tree.
+func (t *Tree) cursorable() *Cursorable {
+	if ct := t.queryState.Load(); ct != nil {
+		return ct
+	}
+	root, ok := t.RootEntry()
+	if !ok {
+		return nil
+	}
+	bw := t.bandwidthFrom(root)
+	ct := &Cursorable{
+		cfg:  t.cfg,
+		root: root,
+		n:    root.CF.N,
+		bw:   bw,
+		kern: kernels.FreezeKernel(t.cfg.Kernel, bw),
+	}
+	t.queryState.Store(ct)
+	return ct
 }
 
 // summarize computes the entry describing node n (rect + CF) from its
@@ -116,7 +171,8 @@ func (t *Tree) summarize(n *Node) Entry {
 			cf.Merge(n.entries[i].CF)
 		}
 	}
-	return Entry{Rect: rect, CF: cf, Child: n}
+	f := stats.Freeze(&cf)
+	return Entry{Rect: rect, CF: cf, Child: n, frozen: &f}
 }
 
 // Insert adds one observation using the R*-style incremental insertion —
@@ -138,6 +194,7 @@ func (t *Tree) Insert(x []float64) error {
 	reinserted := make(map[int]bool)
 	t.insertPoint(p, reinserted)
 	t.size++
+	t.queryState.Store(nil) // cached root summary and bandwidths are stale
 	return nil
 }
 
@@ -270,8 +327,13 @@ func (t *Tree) fixOverflow(path []*Node, reinserted map[int]bool) {
 			over = len(n.entries) > t.cfg.MaxFanout
 		}
 		if !over {
+			// Refresh every ancestor entry along this prefix and stop:
+			// levels above gained no entries, so they cannot overflow, and
+			// refreshPath already rebuilt (and refroze) their summaries.
+			// Continuing would re-summarize the same entries once per
+			// remaining level — O(depth²) wasted work per insert.
 			t.refreshPath(path[:i+1])
-			continue
+			return
 		}
 		level := len(path) - 1 - i // 0 = leaf level counted from bottom of this path
 		// Forced reinsertion of inner entries assumes one height per

@@ -165,8 +165,11 @@ func traceCorrect(clf *core.Classifier, test *dataset.Dataset, maxNodes, workers
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One trace buffer per worker: the pooled query path plus
+			// ClassifyTraceInto keep the per-object cost allocation-free.
+			var trace []int
 			for i := w; i < test.Len(); i += workers {
-				trace := clf.ClassifyTrace(test.X[i], maxNodes)
+				trace = clf.ClassifyTraceInto(test.X[i], maxNodes, trace)
 				y := test.Y[i]
 				for t, pred := range trace {
 					if pred == y {
@@ -231,8 +234,10 @@ func MultiCurve(ds *dataset.Dataset, mopts core.MultiOptions, opts CurveOptions)
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				var trace []int
 				for i := w; i < test.Len(); i += workers {
-					trace, err := mt.ClassifyTrace(test.X[i], opts.Classifier, opts.MaxNodes)
+					var err error
+					trace, err = mt.ClassifyTraceInto(test.X[i], opts.Classifier, opts.MaxNodes, trace)
 					if err != nil {
 						errs[w] = err
 						return

@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"math"
+
+	"bayestree/internal/stats"
+)
+
+// The leaf kernels of a Bayes tree share one data-independent bandwidth
+// vector per tree (Section 2.1), yet the generic Kernel interface
+// recomputes every bandwidth-derived factor — h², 1/h², ln h², the √5
+// Epanechnikov rescaling — for every training object of every leaf read,
+// for every query. A FrozenKernel precomputes those factors once per
+// (kernel, bandwidth) pair; the anytime cursor freezes the kernel when the
+// per-tree query constants are built, so the leaf-level hot loop performs
+// only subtract-multiply-accumulate work.
+
+// FrozenKernel evaluates a kernel whose bandwidth-derived constants are
+// precomputed.
+type FrozenKernel interface {
+	// LogDensity returns the log kernel density at x for a kernel centred
+	// at center, equal to the source kernel's LogDensity with the frozen
+	// bandwidths.
+	LogDensity(x, center []float64) float64
+	// LogDensityObs is the marginal restricted to the observed dimensions
+	// (nil = all).
+	LogDensityObs(x, center []float64, obs []int) float64
+}
+
+// Freezer is implemented by kernels that can precompute their
+// bandwidth-derived factors.
+type Freezer interface {
+	FreezeBandwidth(h []float64) FrozenKernel
+}
+
+// FreezeKernel returns a frozen evaluator for the kernel at bandwidths h.
+// Kernels that do not implement Freezer are wrapped in a pass-through
+// adapter, so callers can freeze unconditionally.
+func FreezeKernel(k Kernel, h []float64) FrozenKernel {
+	if f, ok := k.(Freezer); ok {
+		return f.FreezeBandwidth(h)
+	}
+	return passthroughKernel{k: k, h: h}
+}
+
+type passthroughKernel struct {
+	k Kernel
+	h []float64
+}
+
+func (p passthroughKernel) LogDensity(x, center []float64) float64 {
+	return p.k.LogDensity(x, center, p.h)
+}
+
+func (p passthroughKernel) LogDensityObs(x, center []float64, obs []int) float64 {
+	return p.k.LogDensityObs(x, center, p.h, obs)
+}
+
+// frozenGaussianKernel holds 1/h², ln h² and the full-dimensional
+// log-normaliser −½(D·ln 2π + Σ ln h²).
+type frozenGaussianKernel struct {
+	invVar  []float64
+	logVar  []float64
+	logNorm float64
+}
+
+// FreezeBandwidth implements Freezer.
+func (Gaussian) FreezeBandwidth(h []float64) FrozenKernel {
+	f := frozenGaussianKernel{
+		invVar: make([]float64, len(h)),
+		logVar: make([]float64, len(h)),
+	}
+	var logDet float64
+	for i, hv := range h {
+		if hv <= 0 {
+			hv = math.Sqrt(stats.VarianceFloor)
+		}
+		v := hv * hv
+		f.invVar[i] = 1 / v
+		lv := math.Log(v)
+		f.logVar[i] = lv
+		logDet += lv
+	}
+	f.logNorm = -0.5 * (float64(len(h))*log2Pi + logDet)
+	return f
+}
+
+func (f frozenGaussianKernel) LogDensity(x, center []float64) float64 {
+	var quad float64
+	inv := f.invVar
+	for i, c := range center {
+		d := x[i] - c
+		quad += d * d * inv[i]
+	}
+	return f.logNorm - 0.5*quad
+}
+
+func (f frozenGaussianKernel) LogDensityObs(x, center []float64, obs []int) float64 {
+	if obs == nil {
+		return f.LogDensity(x, center)
+	}
+	var quad, logDet float64
+	for _, i := range obs {
+		d := x[i] - center[i]
+		quad += d * d * f.invVar[i]
+		logDet += f.logVar[i]
+	}
+	return -0.5 * (float64(len(obs))*log2Pi + logDet + quad)
+}
+
+// frozenEpanechnikov holds 1/(√5·h) and Σ ln(0.75/(√5·h)); only the
+// data-dependent ln(1−u²) remains per dimension at query time.
+type frozenEpanechnikov struct {
+	invS  []float64
+	logQ  []float64 // per-dim ln(0.75/s), for marginals
+	sumLQ float64
+}
+
+// FreezeBandwidth implements Freezer.
+func (Epanechnikov) FreezeBandwidth(h []float64) FrozenKernel {
+	f := frozenEpanechnikov{
+		invS: make([]float64, len(h)),
+		logQ: make([]float64, len(h)),
+	}
+	for i, hv := range h {
+		if hv <= 0 {
+			hv = math.Sqrt(stats.VarianceFloor)
+		}
+		s := hv * math.Sqrt(5)
+		f.invS[i] = 1 / s
+		lq := math.Log(0.75 / s)
+		f.logQ[i] = lq
+		f.sumLQ += lq
+	}
+	return f
+}
+
+func (f frozenEpanechnikov) LogDensity(x, center []float64) float64 {
+	logp := f.sumLQ
+	for i, c := range center {
+		u := (x[i] - c) * f.invS[i]
+		if u <= -1 || u >= 1 {
+			return math.Inf(-1)
+		}
+		logp += math.Log1p(-u * u)
+	}
+	return logp
+}
+
+func (f frozenEpanechnikov) LogDensityObs(x, center []float64, obs []int) float64 {
+	if obs == nil {
+		return f.LogDensity(x, center)
+	}
+	var logp float64
+	for _, i := range obs {
+		u := (x[i] - center[i]) * f.invS[i]
+		if u <= -1 || u >= 1 {
+			return math.Inf(-1)
+		}
+		logp += f.logQ[i] + math.Log1p(-u*u)
+	}
+	return logp
+}

@@ -30,6 +30,31 @@ func ObservedDims(x []float64) []int {
 	return obs
 }
 
+// ObservedDimsInto is ObservedDims with a caller-provided scratch buffer,
+// for allocation-free reuse across queries (e.g. by pooled cursors). It
+// returns the observed index slice — nil when every coordinate is observed
+// — together with the (possibly grown) buffer to keep for the next call.
+func ObservedDimsInto(x []float64, buf []int) (obs, scratch []int) {
+	buf = buf[:0]
+	missing := false
+	for i, v := range x {
+		if math.IsNaN(v) {
+			missing = true
+		} else {
+			buf = append(buf, i)
+		}
+	}
+	if !missing {
+		return nil, buf
+	}
+	if buf == nil {
+		// All coordinates missing with a nil scratch: the observed set is
+		// empty but must be non-nil (nil means "all observed").
+		buf = make([]int, 0)
+	}
+	return buf, buf
+}
+
 // LogPDFObs returns the log marginal density of x under g restricted to
 // the observed dimensions obs. A nil obs means all dimensions (equivalent
 // to LogPDF). An empty obs yields 0 (the empty product: every model

@@ -173,6 +173,79 @@ func Run(clf *core.Classifier, items []Item, arrivals Arrivals, budgeter Budgete
 	return res, nil
 }
 
+// RunBatch is the parallel window variant of Run for high-rate serving:
+// arrival gaps and node budgets are drawn exactly as in Run, but objects
+// are processed in windows of the given size — each window is classified
+// in parallel by the classifier's batch engine with per-object budgets,
+// then the window's labelled objects are learned sequentially in arrival
+// order. window ≤ 1 reproduces Run exactly (and is delegated to it);
+// larger windows trade label freshness within one window for parallel
+// throughput, since predictions inside a window do not yet see that
+// window's labels.
+func RunBatch(clf *core.Classifier, items []Item, arrivals Arrivals, budgeter Budgeter, seed int64, window, workers int) (*Result, error) {
+	if window <= 1 {
+		return Run(clf, items, arrivals, budgeter, seed)
+	}
+	if clf == nil {
+		return nil, fmt.Errorf("stream: nil classifier")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{BudgetHist: make(map[int]int), MinBudget: math.MaxInt32}
+	var budgetSum float64
+	xs := make([][]float64, 0, window)
+	budgets := make([]int, 0, window)
+	for start := 0; start < len(items); start += window {
+		end := start + window
+		if end > len(items) {
+			end = len(items)
+		}
+		xs = xs[:0]
+		budgets = budgets[:0]
+		for _, it := range items[start:end] {
+			xs = append(xs, it.X)
+			budgets = append(budgets, budgeter.Budget(arrivals.Next(rng)))
+		}
+		preds, err := clf.ClassifyBatchBudgets(xs, budgets, workers)
+		if err != nil {
+			return nil, fmt.Errorf("stream: batch classification: %w", err)
+		}
+		for j, it := range items[start:end] {
+			budget := budgets[j]
+			res.Predictions = append(res.Predictions, preds[j])
+			res.Processed++
+			res.Classified++
+			res.TotalNodes += budget
+			budgetSum += float64(budget)
+			res.BudgetHist[bucket(budget)]++
+			if budget < res.MinBudget {
+				res.MinBudget = budget
+			}
+			if budget > res.MaxBudget {
+				res.MaxBudget = budget
+			}
+			if it.Labeled {
+				if preds[j] == it.Label {
+					res.Correct++
+				}
+				if err := clf.Learn(it.X, it.Label); err != nil {
+					return nil, fmt.Errorf("stream: online learning: %w", err)
+				}
+				res.Learned++
+			}
+		}
+	}
+	if res.Learned > 0 {
+		res.Accuracy = float64(res.Correct) / float64(res.Learned)
+	}
+	if res.MinBudget == math.MaxInt32 {
+		res.MinBudget = 0
+	}
+	if res.Processed > 0 {
+		res.MeanBudget = budgetSum / float64(res.Processed)
+	}
+	return res, nil
+}
+
 // bucket rounds budgets into coarse histogram bins (0,1,2,5,10,20,50,...).
 func bucket(b int) int {
 	switch {
