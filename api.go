@@ -2,11 +2,14 @@ package bayestree
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"bayestree/internal/bulkload"
 	"bayestree/internal/core"
 	"bayestree/internal/dataset"
 	"bayestree/internal/eval"
+	"bayestree/internal/persist"
 	"bayestree/internal/stream"
 )
 
@@ -148,6 +151,52 @@ func RunStreamBatch(clf *Classifier, items []StreamItem, rate float64, budgeter 
 // batches. Do not Learn on the classifier while a batch is in flight.
 func BatchClassify(clf *Classifier, xs [][]float64, budget, workers int) []int {
 	return clf.ClassifyBatch(xs, budget, workers)
+}
+
+// Encode writes a versioned binary snapshot of the trained classifier:
+// configuration, tree topology, leaf observations and every entry's
+// cluster feature, with float64 values preserved bit-exactly and a
+// checksum over the payload. Decode rebuilds the derived state (frozen
+// Gaussians, priors) from the stored features, so the reloaded model
+// classifies digit-identically to the saved one. See internal/persist
+// for the format.
+func Encode(w io.Writer, clf *Classifier) error { return persist.EncodeClassifier(w, clf) }
+
+// Decode reads a classifier snapshot written by Encode (or Save). It
+// rejects truncated, corrupted and incompatible-version snapshots with
+// descriptive errors before building any model state.
+func Decode(r io.Reader) (*Classifier, error) { return persist.DecodeClassifier(r) }
+
+// Save writes a snapshot of the trained classifier to path, durably and
+// atomically: the snapshot is written to a temporary file in the same
+// directory, fsynced and renamed into place (with a directory fsync),
+// so a crash mid-save leaves either the previous snapshot or the
+// complete new one at path — never a torn file.
+func Save(clf *Classifier, path string) error {
+	err := persist.WriteFileAtomic(path, func(w io.Writer) error {
+		return persist.EncodeClassifier(w, clf)
+	})
+	if err != nil {
+		return fmt.Errorf("bayestree: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a classifier snapshot written by Save and warm-starts it:
+// frozen per-entry caches are rebuilt from the stored cluster features,
+// so the loaded classifier is immediately serving-ready and classifies
+// digit-identically to the model that was saved.
+func Load(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bayestree: load: %w", err)
+	}
+	defer f.Close()
+	clf, err := persist.DecodeClassifier(f)
+	if err != nil {
+		return nil, fmt.Errorf("bayestree: load %s: %w", path, err)
+	}
+	return clf, nil
 }
 
 // LoaderNames lists the available bulk-loading strategies.

@@ -9,7 +9,11 @@
 //	anytime -experiment fig2 -scale 1        # paper-size pendigits
 //	anytime -dataset letter -loaders emtopdown,iterative -nodes 60
 //
-// The -dataset form runs a custom comparison outside the canned figures.
+// The -dataset form runs a custom comparison outside the canned figures,
+// with -loaders, -nodes, -folds, -strategy, -priority and -k selecting
+// the comparison; see -h for every flag. Bad invocations (unknown
+// experiment, data set, loader, strategy or priority) exit with status
+// 2; runtime failures exit with status 1.
 package main
 
 import (
@@ -37,7 +41,18 @@ func main() {
 		priority   = flag.String("priority", "prob", "custom run: descent priority prob|geom")
 		k          = flag.Int("k", 0, "custom run: qbk parameter (0 = paper default)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: anytime [flags]\n\n"+
+				"Regenerate the paper's evaluation artefacts (-experiment table1|fig2|fig3|\n"+
+				"fig4a|fig4b|all) or run a custom anytime-accuracy comparison (-dataset with\n"+
+				"-loaders/-nodes/-folds/-strategy/-priority/-k).\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usagef("unexpected arguments %v", flag.Args())
+	}
 
 	if *experiment == "" && *dsName == "" {
 		*experiment = "all"
@@ -56,7 +71,7 @@ func runExperiments(which string, scale float64, seed int64) {
 	} else {
 		e, ok := eval.ExperimentByID(which)
 		if !ok {
-			fatalf("unknown experiment %q (want table1|fig2|fig3|fig4a|fig4b|all)", which)
+			usagef("unknown experiment %q (want table1|fig2|fig3|fig4a|fig4b|all)", which)
 		}
 		exps = []eval.Experiment{e}
 	}
@@ -74,15 +89,15 @@ func runCustom(dsName string, scale float64, seed int64, loaderList string, node
 	}
 	ds, err := dataset.ByName(dsName, scale)
 	if err != nil {
-		fatalf("%v", err)
+		usagef("%v", err)
 	}
 	strat, ok := parseStrategy(strategy)
 	if !ok {
-		fatalf("unknown strategy %q", strategy)
+		usagef("unknown strategy %q (want glo|bft|dft)", strategy)
 	}
 	prio, ok := parsePriority(priority)
 	if !ok {
-		fatalf("unknown priority %q", priority)
+		usagef("unknown priority %q (want prob|geom)", priority)
 	}
 	fmt.Printf("dataset %s: %d observations, %d classes, %d features\n",
 		ds.Name, ds.Len(), len(ds.Classes()), ds.Dim())
@@ -91,7 +106,7 @@ func runCustom(dsName string, scale float64, seed int64, loaderList string, node
 		name = strings.TrimSpace(name)
 		loader, ok := bulkload.ByName(name)
 		if !ok {
-			fatalf("unknown loader %q (have %v)", name, bulkload.Names())
+			usagef("unknown loader %q (have %v)", name, bulkload.Names())
 		}
 		c, err := eval.AnytimeCurve(ds, loader, eval.CurveOptions{
 			Folds:    folds,
@@ -137,7 +152,15 @@ func parsePriority(s string) (core.Priority, bool) {
 	return 0, false
 }
 
+// fatalf reports a runtime failure and exits with status 1.
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "anytime: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usagef reports a bad invocation, prints usage and exits with status 2.
+func usagef(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "anytime: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

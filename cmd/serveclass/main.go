@@ -1,0 +1,226 @@
+// Command serveclass runs the anytime classification server: a sharded
+// set of multi-class Bayes trees served over HTTP with per-request
+// anytime budgets, a global node-read admission controller, online
+// learning via /insert, and snapshot-based warm starts.
+//
+// Start from a named data set, sharded four ways, with an admission
+// capacity of 200k node reads per second:
+//
+//	serveclass -dataset covertype -scale 0.05 -shards 4 -nps 200000
+//
+// Warm-start from (and persist back to) a snapshot:
+//
+//	serveclass -snapshot model.btsn -addr :8080
+//
+// Endpoints: POST /classify ({"x":[...],"budget":25}; NDJSON body for
+// batch streaming), POST /insert ({"x":[...],"label":2}; NDJSON for
+// bulk ingest), GET /stats, GET /healthz. On SIGTERM or SIGINT the
+// server drains gracefully: /healthz flips to 503 so load balancers
+// stop routing here, in-flight requests finish within the -drain
+// timeout, and the model is snapshotted back to -snapshot if set.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bayestree/internal/core"
+	"bayestree/internal/dataset"
+	"bayestree/internal/persist"
+	"bayestree/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		shards   = flag.Int("shards", 4, "number of model shards (ignored when warm-starting from -snapshot)")
+		snapshot = flag.String("snapshot", "", "snapshot path: warm-start from it when present, write it back on drain")
+		dsName   = flag.String("dataset", "", "bootstrap data set when no snapshot exists (pendigits|letter|gender|covertype)")
+		scale    = flag.Float64("scale", 0.05, "bootstrap data set scale in (0,1]")
+		seed     = flag.Int64("seed", 42, "bootstrap shuffle seed")
+		budget   = flag.Int("budget", 32, "default per-request node budget when the request sets none")
+		maxB     = flag.Int("max-budget", server.DefaultMaxBudget, "hard cap on any request's node budget")
+		nps      = flag.Float64("nps", 0, "admission capacity in node reads/second across all requests (0 = unlimited)")
+		burst    = flag.Float64("burst", 0, "admission bucket capacity in node reads (0 = max(nps, max-budget))")
+		strategy = flag.String("strategy", "glo", "descent strategy glo|bft|dft")
+		priority = flag.String("priority", "prob", "descent priority prob|geom")
+		pooled   = flag.Bool("pooled", false, "bootstrap trees with pooled per-entry variance")
+		entropy  = flag.Bool("entropy", false, "bootstrap trees with entropy-weighted descent priority")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful drain timeout on SIGTERM/SIGINT")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: serveclass [flags]\n\n"+
+				"Serve anytime classification over HTTP from a sharded Bayes tree model.\n"+
+				"Model source: -snapshot (warm start) or -dataset (bootstrap); one is required.\n\n"+
+				"Endpoints:\n"+
+				"  POST /classify   {\"x\":[...],\"budget\":25}; NDJSON body streams a batch\n"+
+				"  POST /insert     {\"x\":[...],\"label\":2}; NDJSON body bulk-ingests\n"+
+				"  GET  /stats      shard sizes and admission counters\n"+
+				"  GET  /healthz    200 ok, 503 while draining\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErrorf("unexpected arguments %v", flag.Args())
+	}
+
+	strat, ok := parseStrategy(*strategy)
+	if !ok {
+		usageErrorf("unknown strategy %q (want glo|bft|dft)", *strategy)
+	}
+	prio, ok := parsePriority(*priority)
+	if !ok {
+		usageErrorf("unknown priority %q (want prob|geom)", *priority)
+	}
+	cfg := server.Config{
+		DefaultBudget:  *budget,
+		MaxBudget:      *maxB,
+		NodesPerSecond: *nps,
+		Burst:          *burst,
+		Query:          core.ClassifierOptions{Strategy: strat, Priority: prio},
+	}
+
+	s, err := buildServer(*snapshot, *dsName, *scale, *seed, *shards, *pooled, *entropy, cfg)
+	if err != nil {
+		var ue usageError
+		if errors.As(err, &ue) {
+			usageErrorf("%v", err)
+		}
+		log.Fatalf("serveclass: %v", err)
+	}
+	log.Printf("serving %d observations over %d shards on %s (default budget %d, admission %s)",
+		s.Len(), s.NumShards(), *addr, *budget, admissionDesc(*nps))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		log.Fatalf("serveclass: %v", err)
+	case sig := <-sigc:
+		log.Printf("received %v: draining (timeout %v)", sig, *drain)
+	}
+
+	// Graceful drain: fail health checks first so load balancers stop
+	// routing here, then let in-flight requests finish, then persist.
+	s.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("serveclass: drain: %v", err)
+	}
+	if *snapshot != "" {
+		if err := saveSnapshot(s, *snapshot); err != nil {
+			log.Fatalf("serveclass: %v", err)
+		}
+		log.Printf("snapshot written to %s (%d observations)", *snapshot, s.Len())
+	}
+}
+
+// usageError marks configuration mistakes that should print usage and
+// exit with status 2 rather than 1.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+// buildServer resolves the model source: an existing snapshot wins,
+// otherwise a data set is bootstrapped into empty shards via the same
+// hash routing online inserts use.
+func buildServer(snapshot, dsName string, scale float64, seed int64, shards int, pooled, entropy bool, cfg server.Config) (*server.Server, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err == nil {
+			defer f.Close()
+			s, err := server.FromSnapshot(f, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot %s: %w", snapshot, err)
+			}
+			log.Printf("warm start from %s: %d shards, %d observations", snapshot, s.NumShards(), s.Len())
+			return s, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+		log.Printf("snapshot %s does not exist yet; bootstrapping", snapshot)
+	}
+	if dsName == "" {
+		return nil, usageError("need -snapshot (existing) or -dataset to build a model")
+	}
+	if shards < 1 {
+		return nil, usageError(fmt.Sprintf("-shards must be ≥ 1, got %d", shards))
+	}
+	ds, err := dataset.ByName(dsName, scale)
+	if err != nil {
+		return nil, usageError(err.Error())
+	}
+	ds.Shuffle(seed)
+	mopts := core.MultiOptions{PooledVariance: pooled, EntropyPriority: entropy}
+	s, err := server.NewEmpty(shards, core.DefaultConfig(ds.Dim()), ds.Classes(), mopts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := 0; i < ds.Len(); i++ {
+		if err := s.Insert(ds.X[i], ds.Y[i]); err != nil {
+			return nil, fmt.Errorf("bootstrap insert %d: %w", i, err)
+		}
+	}
+	log.Printf("bootstrapped %s: %d observations, %d classes, %d dims into %d shards in %v",
+		ds.Name, ds.Len(), len(ds.Classes()), ds.Dim(), shards, time.Since(start).Round(time.Millisecond))
+	return s, nil
+}
+
+// saveSnapshot writes the model durably and atomically.
+func saveSnapshot(s *server.Server, path string) error {
+	return persist.WriteFileAtomic(path, s.WriteSnapshot)
+}
+
+func admissionDesc(nps float64) string {
+	if nps <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.0f node reads/s", nps)
+}
+
+func parseStrategy(s string) (core.Strategy, bool) {
+	switch s {
+	case "glo", "global":
+		return core.DescentGlobal, true
+	case "bft", "breadth":
+		return core.DescentBFT, true
+	case "dft", "depth":
+		return core.DescentDFT, true
+	}
+	return 0, false
+}
+
+func parsePriority(s string) (core.Priority, bool) {
+	switch s {
+	case "prob", "probabilistic":
+		return core.PriorityProbabilistic, true
+	case "geom", "geometric":
+		return core.PriorityGeometric, true
+	}
+	return 0, false
+}
+
+// usageErrorf prints the error and usage, then exits with status 2 —
+// the conventional "bad invocation" status, distinct from runtime
+// failures (1).
+func usageErrorf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "serveclass: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

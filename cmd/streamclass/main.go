@@ -3,6 +3,18 @@
 // arrive under a Poisson process and each is classified with exactly the
 // node budget its inter-arrival gap allows (Section 1's "varying
 // streams"); labelled arrivals are learned online.
+//
+// Usage:
+//
+//	streamclass -dataset covertype -rate 200 -nps 5000
+//	streamclass -dataset letter -window 64 -workers 8   # windowed parallel run
+//
+// -window sets the batch window size: 1 (default) reproduces the strictly
+// sequential online run, larger windows classify each window in parallel
+// with -workers goroutines and learn the window's labels afterwards,
+// trading label freshness within a window for throughput. Bad invocations
+// (unknown data set or loader, malformed flags) exit with status 2;
+// runtime failures exit with status 1.
 package main
 
 import (
@@ -29,14 +41,25 @@ func main() {
 		nps     = flag.Float64("nps", 5000, "emulated node reads per second")
 		trainPc = flag.Float64("train", 0.5, "fraction used for the initial training window")
 		seed    = flag.Int64("seed", 42, "seed")
-		window  = flag.Int("window", 1, "batch window size (1 = strictly sequential online run)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel classification workers per window")
+		window  = flag.Int("window", 1, "batch window size: 1 = strictly sequential online run, >1 = classify each window in parallel, then learn its labels")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel classification workers per window (only used when -window > 1)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: streamclass [flags]\n\n"+
+				"Simulate a Poisson data stream and classify each arrival with the anytime\n"+
+				"budget its inter-arrival gap allows; labelled arrivals are learned online.\n"+
+				"Use -window/-workers for the windowed parallel (batch) run.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usagef("unexpected arguments %v", flag.Args())
+	}
 
 	ds, err := dataset.ByName(*dsName, *scale)
 	if err != nil {
-		fatalf("%v", err)
+		usagef("%v", err)
 	}
 	ds.Shuffle(*seed)
 	nTrain := int(*trainPc * float64(ds.Len()))
@@ -50,7 +73,7 @@ func main() {
 	train := ds.Subset(trainIdx, "train")
 	l, ok := bulkload.ByName(*loader)
 	if !ok {
-		fatalf("unknown loader %q", *loader)
+		usagef("unknown loader %q (have %v)", *loader, bulkload.Names())
 	}
 	clf, err := eval.TrainForest(train, l, core.DefaultConfig, core.ClassifierOptions{})
 	if err != nil {
@@ -84,7 +107,17 @@ func main() {
 	}
 }
 
+// fatalf reports a runtime failure and exits with status 1.
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "streamclass: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usagef reports a bad invocation, prints usage and exits with status 2
+// — the conventional "usage error" status, distinct from runtime
+// failures.
+func usagef(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "streamclass: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

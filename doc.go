@@ -43,11 +43,34 @@
 // snapshot. RunStreamBatch combines both for online streams: windows
 // are classified in parallel, labels are learned between windows.
 //
+// # Persistence
+//
+// Save and Load (Encode/Decode for streams) snapshot a trained
+// classifier to a versioned, checksummed binary format that stores the
+// model's source of truth — configuration, topology, observations and
+// cluster features — with float64 values preserved bit-exactly. The
+// derived frozen caches are rebuilt on load through the same freeze
+// path the tree builder uses, so a reloaded model classifies
+// digit-identically to the saved one; corrupted, truncated and
+// incompatible-version snapshots are rejected before any model state
+// is built. Snapshots are written atomically (temp file + rename).
+//
+// # Serving
+//
+// The internal/server package (driven by cmd/serveclass) serves
+// anytime classification over HTTP from a sharded multi-class model:
+// per-shard reader/writer locks let inserts proceed while other shards
+// keep classifying, a global token-bucket admission controller makes
+// aggregate refinement work track a configured node-read capacity, and
+// NDJSON streaming classifies request batches in parallel windows.
+// See ARCHITECTURE.md for the full design.
+//
 // Quick start:
 //
 //	ds, _ := bayestree.LoadCSV("train.csv", bayestree.CSVOptions{LabelColumn: -1})
 //	clf, _ := bayestree.Train(ds, bayestree.TrainOptions{Loader: "emtopdown"})
 //	label := clf.Classify(x, 25) // classify x with a budget of 25 node reads
+//	_ = bayestree.Save(clf, "model.btsn")
 //
 // See the examples/ directory for runnable programs and EXPERIMENTS.md for
 // the reproduction of the paper's evaluation.

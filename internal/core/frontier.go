@@ -98,9 +98,8 @@ type Cursor struct {
 	shift  float64
 	reads  int
 	logN   float64
-	h      []float64 // kernel bandwidths
-	obs    []int     // observed dims for missing-value queries (nil = all)
-	obsBuf []int     // retained backing array for obs across pooled reuses
+	obs    []int // observed dims for missing-value queries (nil = all)
+	obsBuf []int // retained backing array for obs across pooled reuses
 }
 
 // cursorPool recycles cursors — and, crucially, their heap/FIFO backing
@@ -146,7 +145,6 @@ func newCursor(ct *Cursorable, x []float64, strategy Strategy, priority Priority
 	c.shift = math.Inf(-1)
 	c.reads = 0
 	c.logN = math.Log(ct.n)
-	c.h = ct.bw
 	c.obs, c.obsBuf = stats.ObservedDimsInto(x, c.obsBuf)
 	// The level-0 model: a single Gaussian over the entire population,
 	// available without reading any node.
@@ -177,7 +175,6 @@ func (c *Cursor) Close() {
 	c.fifo = f[:0]
 	c.tree = nil
 	c.x = nil
-	c.h = nil
 	c.obs = nil
 	cursorPool.Put(c)
 }

@@ -126,6 +126,17 @@ func (t *MultiTree) Labels() []int { return append([]int(nil), t.labels...) }
 // Len returns the number of stored observations.
 func (t *MultiTree) Len() int { return t.size }
 
+// Config returns the tree's structural parameters.
+func (t *MultiTree) Config() Config { return t.cfg }
+
+// Options returns the multi-class options the tree was built with.
+func (t *MultiTree) Options() MultiOptions { return t.mopts }
+
+// Counts returns a copy of the per-class observation counts, indexed in
+// Labels order. Counts are float64 so decayed-weight extensions keep
+// working; for plain trees they are integral.
+func (t *MultiTree) Counts() []float64 { return append([]float64(nil), t.counts...) }
+
 // Root returns the root node for read-only traversal.
 func (t *MultiTree) Root() *MultiNode { return t.root }
 
@@ -381,7 +392,6 @@ type MultiQuery struct {
 	seq    int
 	accs   []float64
 	shifts []float64
-	bw     [][]float64
 	kern   []kernels.FrozenKernel
 	logNc  []float64
 	obs    []int
@@ -401,7 +411,6 @@ func (t *MultiTree) NewQuery(x []float64, opts ClassifierOptions) (*MultiQuery, 
 		opts:   opts,
 		accs:   make([]float64, len(t.labels)),
 		shifts: make([]float64, len(t.labels)),
-		bw:     st.bw,
 		kern:   st.kern,
 		logNc:  st.logNc,
 		obs:    stats.ObservedDims(x),
@@ -581,6 +590,14 @@ func (q *MultiQuery) scores() []float64 {
 	}
 	return out
 }
+
+// Scores returns the current per-class log posterior scores (class
+// prior times anytime density estimate, up to the shared evidence
+// constant), indexed in Labels order; classes with no mass score −Inf.
+// Serving layers that shard one population across several trees combine
+// shard scores with a size-weighted log-sum-exp — CF additivity makes
+// the union model exactly the weighted mixture of the shard models.
+func (q *MultiQuery) Scores() []float64 { return q.scores() }
 
 // Predict returns the currently most probable label.
 func (q *MultiQuery) Predict() int {

@@ -1,0 +1,619 @@
+// Package persist implements versioned binary snapshots of trained
+// Bayes tree models, so a serving process can warm-start from disk
+// instead of re-running bulk loading (minutes of EM for large sets).
+//
+// The format stores the structural source of truth — configuration,
+// node topology, leaf observations and every entry's cluster feature —
+// with float64 values preserved bit-exactly, and omits all derived
+// state. On decode the frozen-Gaussian caches are rebuilt from the
+// stored cluster features through the same stats.Freeze path the tree
+// builder uses (see core.RebuildEntry / core.RebuildMultiTree), so a
+// reloaded model answers every query digit-identically to the model
+// that was saved; the round-trip property tests assert this.
+//
+// Layout: a 4-byte magic "BTSN", a uint32 format version, a uint64
+// payload length, the payload, and a CRC32 (IEEE) of the payload.
+// Truncation, bit rot and future-version files are all rejected with
+// distinguishable errors before any model state is built.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"bayestree/internal/core"
+	"bayestree/internal/kernels"
+	"bayestree/internal/mbr"
+	"bayestree/internal/stats"
+)
+
+// Version is the current snapshot format version. Decoders accept
+// exactly this version: the format has no compatibility shims yet, and
+// refusing loudly beats misreading silently.
+const Version = 1
+
+var magic = [4]byte{'B', 'T', 'S', 'N'}
+
+// Snapshot kinds, the first payload byte.
+const (
+	kindClassifier byte = 1 // per-class forest (core.Classifier)
+	kindMultiTree  byte = 2 // single multi-class tree
+	kindMultiSet   byte = 3 // sharded set of multi-class trees
+)
+
+// Sentinel errors for the distinguishable failure modes of Decode*.
+// Wrapped errors carry detail; test with errors.Is.
+var (
+	// ErrBadMagic means the input is not a Bayes tree snapshot at all.
+	ErrBadMagic = errors.New("persist: not a bayestree snapshot")
+	// ErrVersion means the snapshot was written by an incompatible
+	// (usually newer) format version.
+	ErrVersion = errors.New("persist: unsupported snapshot version")
+	// ErrChecksum means the payload failed its integrity check.
+	ErrChecksum = errors.New("persist: snapshot checksum mismatch")
+	// ErrTruncated means the input ended before the declared payload.
+	ErrTruncated = errors.New("persist: truncated snapshot")
+)
+
+// EncodeClassifier writes a snapshot of the per-class forest classifier.
+func EncodeClassifier(w io.Writer, c *core.Classifier) error {
+	if c == nil {
+		return fmt.Errorf("persist: nil classifier")
+	}
+	e := newEncoder(kindClassifier)
+	e.u8(uint8(c.Options().Strategy))
+	e.u8(uint8(c.Options().Priority))
+	e.i64(int64(c.Options().K))
+	labels := c.Labels()
+	e.u64(uint64(len(labels)))
+	for _, l := range labels {
+		e.i64(int64(l))
+		e.tree(c.Tree(l))
+	}
+	return e.flush(w)
+}
+
+// DecodeClassifier reads a classifier snapshot written by
+// EncodeClassifier, rebuilding the per-entry frozen caches and the class
+// priors so the result classifies digit-identically to the saved model.
+func DecodeClassifier(r io.Reader) (*core.Classifier, error) {
+	d, err := newDecoder(r, kindClassifier)
+	if err != nil {
+		return nil, err
+	}
+	var opts core.ClassifierOptions
+	opts.Strategy = core.Strategy(d.u8())
+	opts.Priority = core.Priority(d.u8())
+	opts.K = int(d.i64())
+	n := d.count(1)
+	labels := make([]int, n)
+	trees := make([]*core.Tree, n)
+	for i := 0; i < n; i++ {
+		labels[i] = int(d.i64())
+		trees[i] = d.tree()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return core.NewClassifier(labels, trees, opts)
+}
+
+// EncodeMultiTree writes a snapshot of a single multi-class tree.
+func EncodeMultiTree(w io.Writer, t *core.MultiTree) error {
+	if t == nil {
+		return fmt.Errorf("persist: nil multi tree")
+	}
+	e := newEncoder(kindMultiTree)
+	e.multiTree(t)
+	return e.flush(w)
+}
+
+// DecodeMultiTree reads a multi-class tree snapshot written by
+// EncodeMultiTree.
+func DecodeMultiTree(r io.Reader) (*core.MultiTree, error) {
+	d, err := newDecoder(r, kindMultiTree)
+	if err != nil {
+		return nil, err
+	}
+	t := d.multiTree()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return t, nil
+}
+
+// EncodeMultiTrees writes a snapshot of a sharded set of multi-class
+// trees — the serving subsystem's whole model state in one file.
+func EncodeMultiTrees(w io.Writer, ts []*core.MultiTree) error {
+	if len(ts) == 0 {
+		return fmt.Errorf("persist: empty multi tree set")
+	}
+	e := newEncoder(kindMultiSet)
+	e.u64(uint64(len(ts)))
+	for _, t := range ts {
+		if t == nil {
+			return fmt.Errorf("persist: nil multi tree in set")
+		}
+		e.multiTree(t)
+	}
+	return e.flush(w)
+}
+
+// DecodeMultiTrees reads a sharded-set snapshot written by
+// EncodeMultiTrees.
+func DecodeMultiTrees(r io.Reader) ([]*core.MultiTree, error) {
+	d, err := newDecoder(r, kindMultiSet)
+	if err != nil {
+		return nil, err
+	}
+	n := d.count(1)
+	ts := make([]*core.MultiTree, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, d.multiTree())
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return ts, nil
+}
+
+// WriteFileAtomic writes a snapshot to path durably and atomically:
+// write is run against a temporary file in path's directory, the file
+// is fsynced and renamed into place, and the directory is fsynced so
+// the rename itself survives a crash. Either the old content or the
+// complete new content is at path afterwards — never a torn snapshot.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bayestree-snap-*")
+	if err != nil {
+		return fmt.Errorf("persist: write %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: write %s: %w", path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Best-effort directory fsync; some filesystems refuse it.
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// encoder
+
+type encoder struct {
+	buf bytes.Buffer
+	err error
+}
+
+func newEncoder(kind byte) *encoder {
+	e := &encoder{}
+	e.u8(kind)
+	return e
+}
+
+func (e *encoder) u8(v uint8)  { e.buf.WriteByte(v) }
+func (e *encoder) boolv(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf.Write(b[:])
+}
+
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) floats(v []float64) {
+	for _, f := range v {
+		e.f64(f)
+	}
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) config(c core.Config) {
+	e.i64(int64(c.Dim))
+	e.i64(int64(c.MinFanout))
+	e.i64(int64(c.MaxFanout))
+	e.i64(int64(c.MinLeaf))
+	e.i64(int64(c.MaxLeaf))
+	e.str(c.Kernel.Name())
+	e.boolv(c.ForcedReinsert)
+	e.f64(c.ReinsertFraction)
+}
+
+func (e *encoder) cf(cf *stats.CF) {
+	e.f64(cf.N)
+	e.floats(cf.LS)
+	e.floats(cf.SS)
+}
+
+func (e *encoder) rect(r mbr.Rect) {
+	e.floats(r.Lo)
+	e.floats(r.Hi)
+}
+
+func (e *encoder) tree(t *core.Tree) {
+	e.config(t.Config())
+	e.u64(uint64(t.Len()))
+	e.boolv(t.Balanced())
+	e.node(t.Root())
+}
+
+func (e *encoder) node(n *core.Node) {
+	if n.IsLeaf() {
+		e.u8(0)
+		pts := n.Points()
+		e.u64(uint64(len(pts)))
+		for _, p := range pts {
+			e.floats(p)
+		}
+		return
+	}
+	e.u8(1)
+	ents := n.Entries()
+	e.u64(uint64(len(ents)))
+	for i := range ents {
+		e.rect(ents[i].Rect)
+		e.cf(&ents[i].CF)
+		e.node(ents[i].Child)
+	}
+}
+
+func (e *encoder) multiTree(t *core.MultiTree) {
+	e.config(t.Config())
+	mopts := t.Options()
+	e.boolv(mopts.PooledVariance)
+	e.boolv(mopts.EntropyPriority)
+	labels := t.Labels()
+	e.u64(uint64(len(labels)))
+	for _, l := range labels {
+		e.i64(int64(l))
+	}
+	e.floats(t.Counts())
+	e.multiNode(t.Root(), len(labels))
+}
+
+func (e *encoder) multiNode(n *core.MultiNode, numClasses int) {
+	if n.IsLeaf() {
+		e.u8(0)
+		pts := n.Points()
+		e.u64(uint64(len(pts)))
+		for i := range pts {
+			e.i64(int64(pts[i].Label))
+			e.floats(pts[i].X)
+		}
+		return
+	}
+	e.u8(1)
+	ents := n.Entries()
+	e.u64(uint64(len(ents)))
+	for i := range ents {
+		e.rect(ents[i].Rect)
+		for c := 0; c < numClasses; c++ {
+			e.cf(&ents[i].CFs[c])
+		}
+		e.cf(&ents[i].Total)
+		e.multiNode(ents[i].Child, numClasses)
+	}
+}
+
+// flush frames the payload (magic, version, length, payload, CRC32) and
+// writes it out.
+func (e *encoder) flush(w io.Writer) error {
+	if e.err != nil {
+		return e.err
+	}
+	payload := e.buf.Bytes()
+	var head [16]byte
+	copy(head[:4], magic[:])
+	binary.LittleEndian.PutUint32(head[4:8], Version)
+	binary.LittleEndian.PutUint64(head[8:16], uint64(len(payload)))
+	if _, err := w.Write(head[:]); err != nil {
+		return fmt.Errorf("persist: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("persist: write payload: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("persist: write checksum: %w", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// decoder
+
+type decoder struct {
+	b   *bytes.Reader
+	err error
+}
+
+// newDecoder reads and verifies the frame (magic, version, length,
+// checksum) and the kind byte, returning a decoder positioned at the
+// kind-specific payload.
+func newDecoder(r io.Reader, wantKind byte) (*decoder, error) {
+	var head [16]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if !bytes.Equal(head[:4], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != Version {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint64(head[8:16])
+	const maxPayload = 1 << 36 // 64 GiB: reject absurd declared lengths before allocating
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: declared payload %d bytes", ErrChecksum, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrTruncated, err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sum[:]) {
+		return nil, ErrChecksum
+	}
+	d := &decoder{b: bytes.NewReader(payload)}
+	if kind := d.u8(); d.err == nil && kind != wantKind {
+		return nil, fmt.Errorf("persist: snapshot kind %d, want %d", kind, wantKind)
+	}
+	return d, d.err
+}
+
+func (d *decoder) fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = fmt.Errorf("persist: "+format, args...)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := d.b.ReadByte()
+	if err != nil {
+		d.fail("unexpected end of payload")
+	}
+	return v
+}
+
+func (d *decoder) boolv() bool { return d.u8() != 0 }
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(d.b, b[:]); err != nil {
+		d.fail("unexpected end of payload")
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a collection length and bounds it by what the remaining
+// payload could possibly hold (elemBytes per element), so a corrupt
+// length cannot force a huge allocation.
+func (d *decoder) count(elemBytes int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if max := uint64(d.b.Len()/elemBytes) + 1; n > max {
+		d.fail("declared count %d exceeds payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) floats(n int) []float64 {
+	if d.err != nil || n < 0 || n > d.b.Len()/8+1 {
+		d.fail("bad vector length %d", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *decoder) str() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.b, b); err != nil {
+		d.fail("unexpected end of payload")
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) config() core.Config {
+	var c core.Config
+	c.Dim = int(d.i64())
+	c.MinFanout = int(d.i64())
+	c.MaxFanout = int(d.i64())
+	c.MinLeaf = int(d.i64())
+	c.MaxLeaf = int(d.i64())
+	name := d.str()
+	c.ForcedReinsert = d.boolv()
+	c.ReinsertFraction = d.f64()
+	if d.err != nil {
+		return c
+	}
+	k, ok := kernels.ByName(name)
+	if !ok {
+		d.fail("unknown kernel %q", name)
+		return c
+	}
+	c.Kernel = k
+	return c
+}
+
+func (d *decoder) cf(dim int) stats.CF {
+	return stats.CF{N: d.f64(), LS: d.floats(dim), SS: d.floats(dim)}
+}
+
+func (d *decoder) rect(dim int) mbr.Rect {
+	return mbr.Rect{Lo: d.floats(dim), Hi: d.floats(dim)}
+}
+
+func (d *decoder) tree() *core.Tree {
+	cfg := d.config()
+	size := int(d.u64())
+	balanced := d.boolv()
+	if d.err != nil {
+		return nil
+	}
+	root := d.node(cfg.Dim)
+	if d.err != nil {
+		return nil
+	}
+	t, err := core.RebuildTree(cfg, root, size, balanced)
+	if err != nil {
+		d.fail("rebuild tree: %v", err)
+		return nil
+	}
+	return t
+}
+
+func (d *decoder) node(dim int) *core.Node {
+	tag := d.u8()
+	if d.err != nil {
+		return nil
+	}
+	switch tag {
+	case 0:
+		n := d.count(8 * dim)
+		pts := make([][]float64, 0, n)
+		for i := 0; i < n; i++ {
+			pts = append(pts, d.floats(dim))
+		}
+		return core.RebuildLeaf(pts)
+	case 1:
+		n := d.count(8)
+		ents := make([]core.Entry, 0, n)
+		for i := 0; i < n; i++ {
+			rect := d.rect(dim)
+			cf := d.cf(dim)
+			child := d.node(dim)
+			if d.err != nil {
+				return nil
+			}
+			ents = append(ents, core.RebuildEntry(rect, cf, child))
+		}
+		return core.RebuildInner(ents)
+	default:
+		d.fail("unknown node tag %d", tag)
+		return nil
+	}
+}
+
+func (d *decoder) multiTree() *core.MultiTree {
+	cfg := d.config()
+	var mopts core.MultiOptions
+	mopts.PooledVariance = d.boolv()
+	mopts.EntropyPriority = d.boolv()
+	nl := d.count(8)
+	labels := make([]int, nl)
+	for i := range labels {
+		labels[i] = int(d.i64())
+	}
+	counts := d.floats(nl)
+	if d.err != nil {
+		return nil
+	}
+	root := d.multiNode(cfg.Dim, nl)
+	if d.err != nil {
+		return nil
+	}
+	t, err := core.RebuildMultiTree(cfg, mopts, labels, root, counts)
+	if err != nil {
+		d.fail("rebuild multi tree: %v", err)
+		return nil
+	}
+	return t
+}
+
+func (d *decoder) multiNode(dim, numClasses int) *core.MultiNode {
+	tag := d.u8()
+	if d.err != nil {
+		return nil
+	}
+	switch tag {
+	case 0:
+		n := d.count(8 + 8*dim)
+		pts := make([]core.LabeledPoint, 0, n)
+		for i := 0; i < n; i++ {
+			label := int(d.i64())
+			pts = append(pts, core.LabeledPoint{X: d.floats(dim), Label: label})
+		}
+		return core.RebuildMultiLeaf(pts)
+	case 1:
+		n := d.count(8)
+		ents := make([]core.MultiEntry, 0, n)
+		for i := 0; i < n; i++ {
+			e := core.MultiEntry{Rect: d.rect(dim), CFs: make([]stats.CF, numClasses)}
+			for c := 0; c < numClasses; c++ {
+				e.CFs[c] = d.cf(dim)
+			}
+			e.Total = d.cf(dim)
+			e.Child = d.multiNode(dim, numClasses)
+			if d.err != nil {
+				return nil
+			}
+			ents = append(ents, e)
+		}
+		return core.RebuildMultiInner(ents)
+	default:
+		d.fail("unknown node tag %d", tag)
+		return nil
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"bayestree/internal/core"
+)
+
+// benchServer builds a pre-filled server outside the timed region.
+func benchServer(b *testing.B, shards int, cfg Config) *Server {
+	b.Helper()
+	s, err := NewEmpty(shards, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, cfg)
+	if err != nil {
+		b.Fatalf("new server: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x, label := genPoint(rng)
+		if err := s.Insert(x, label); err != nil {
+			b.Fatalf("insert: %v", err)
+		}
+	}
+	return s
+}
+
+// BenchmarkServerClassify measures served classifications per second as
+// a function of shard count and per-request budget (admission disabled,
+// so the numbers isolate the fan-out and locking overhead). Run with
+// -benchtime and -cpu to sweep; EXPERIMENTS.md records the results.
+func BenchmarkServerClassify(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, budget := range []int{10, 50, 200} {
+			b.Run(fmt.Sprintf("shards=%d/budget=%d", shards, budget), func(b *testing.B) {
+				s := benchServer(b, shards, Config{})
+				var seed atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(seed.Add(1)))
+					for pb.Next() {
+						x, _ := genPoint(rng)
+						if _, err := s.Classify(x, budget); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkServerMixed measures classification throughput with a
+// concurrent 5% insert write load — the serving-while-learning regime
+// the per-shard RW locks exist for.
+func BenchmarkServerMixed(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := benchServer(b, shards, Config{})
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				i := 0
+				for pb.Next() {
+					x, label := genPoint(rng)
+					if i%20 == 19 {
+						if err := s.Insert(x, label); err != nil {
+							b.Error(err)
+							return
+						}
+					} else if _, err := s.Classify(x, 50); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// HTTP surface of the server:
+//
+//	POST /classify  {"x":[...],"budget":25}            → Result JSON
+//	POST /classify  (NDJSON body, one request/line)    → NDJSON Results
+//	POST /insert    {"x":[...],"label":2}              → {"ok":true,...}
+//	POST /insert    (NDJSON body, one insert/line)     → NDJSON acks
+//	GET  /stats                                        → Stats JSON
+//	GET  /healthz                                      → 200 ok / 503 draining
+//
+// A body whose Content-Type mentions "ndjson" (or a ?stream=1 query) is
+// treated as a streamed batch: requests are read line by line, windows
+// of lines are classified in parallel, and one response line is written
+// per request line in order, flushed per window — so a client can pipe
+// an unbounded stream through a single connection and read predictions
+// while it is still sending.
+
+// streamWindow is how many NDJSON lines are classified per parallel
+// window; it bounds both latency-to-first-byte and per-window memory.
+const streamWindow = 64
+
+// classifyRequest is the JSON body of a classification request. Budget
+// semantics match Server.Classify: 0 means the server default, negative
+// means "as much as the cap and admission allow".
+type classifyRequest struct {
+	X      []float64 `json:"x"`
+	Budget int       `json:"budget"`
+}
+
+// insertRequest is the JSON body of an insert request.
+type insertRequest struct {
+	X     []float64 `json:"x"`
+	Label int       `json:"label"`
+}
+
+// lineResponse is one NDJSON response line: a Result on success, an
+// Error on per-line failure (the stream keeps going either way).
+type lineResponse struct {
+	Result
+	Error string `json:"error,omitempty"`
+}
+
+// Handler returns the HTTP handler serving the four endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// isStream reports whether the request carries an NDJSON batch body.
+func isStream(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Content-Type"), "ndjson") ||
+		r.URL.Query().Get("stream") == "1"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if isStream(r) {
+		s.streamClassify(w, r)
+		return
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := s.Classify(req.X, req.Budget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// streamClassify serves the NDJSON batch form: windows of request lines
+// are classified by a worker pool (each item admitted individually),
+// and response lines are written in input order and flushed per window.
+func (s *Server) streamClassify(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	window := make([]classifyRequest, 0, streamWindow)
+	parseErrs := make([]string, 0, streamWindow)
+
+	emit := func() bool {
+		if len(window) == 0 {
+			return true
+		}
+		responses := make([]lineResponse, len(window))
+		runPool(len(window), 8, func(i int) {
+			if parseErrs[i] != "" {
+				responses[i] = lineResponse{Error: parseErrs[i]}
+				return
+			}
+			res, err := s.Classify(window[i].X, window[i].Budget)
+			if err != nil {
+				responses[i] = lineResponse{Error: err.Error()}
+				return
+			}
+			responses[i] = lineResponse{Result: res}
+		})
+		for i := range responses {
+			if err := enc.Encode(responses[i]); err != nil {
+				return false // client went away
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		window = window[:0]
+		parseErrs = parseErrs[:0]
+		return true
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req classifyRequest
+		errMsg := ""
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			errMsg = fmt.Sprintf("bad request line: %v", err)
+		}
+		window = append(window, req)
+		parseErrs = append(parseErrs, errMsg)
+		if len(window) >= streamWindow {
+			if !emit() {
+				return
+			}
+		}
+	}
+	if !emit() {
+		return
+	}
+	// A scanner error (oversized line, broken body) would otherwise end
+	// the stream silently with fewer response lines than request lines;
+	// emit a terminal error line so the client can tell truncation from
+	// completion.
+	if err := sc.Err(); err != nil {
+		enc.Encode(lineResponse{Error: fmt.Sprintf("request stream: %v", err)})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if isStream(r) {
+		s.streamInsert(w, r)
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := s.Insert(req.X, req.Label); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "observations": s.Len()})
+}
+
+// streamInsert serves the NDJSON batch insert form: one ack line per
+// input line, in order. Inserts stay sequential — each takes its
+// shard's write lock — but the single connection amortises transport
+// overhead for bulk ingest while classifications keep flowing on other
+// connections.
+func (s *Server) streamInsert(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req insertRequest
+		var ack map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			ack = map[string]interface{}{"error": fmt.Sprintf("bad insert line: %v", err)}
+		} else if err := s.Insert(req.X, req.Label); err != nil {
+			ack = map[string]interface{}{"error": err.Error()}
+		} else {
+			ack = map[string]interface{}{"ok": true}
+		}
+		if err := enc.Encode(ack); err != nil {
+			return
+		}
+		n++
+		if n%streamWindow == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		enc.Encode(map[string]interface{}{"error": fmt.Sprintf("request stream: %v", err)})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

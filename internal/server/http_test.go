@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startHTTP spins up an httptest server over a pre-filled Server.
+func startHTTP(t *testing.T, shards, n int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, _ := newTestServer(t, shards, n, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestHTTPSingleClassify(t *testing.T) {
+	_, ts := startHTTP(t, 2, 300, Config{})
+	body := `{"x":[3.0,-3.0,0.0],"budget":25}`
+	resp, err := http.Post(ts.URL+"/classify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if res.Label != 1 {
+		t.Fatalf("label %d, want 1 (blob at (3,-3))", res.Label)
+	}
+	if res.Granted != 25 || res.Requested != 25 {
+		t.Fatalf("budgets %+v, want requested=granted=25", res)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := startHTTP(t, 1, 100, Config{})
+	for _, tc := range []struct {
+		path, body string
+		want       int
+	}{
+		{"/classify", `{"x":[1.0]}`, http.StatusBadRequest},      // wrong dim
+		{"/classify", `not json`, http.StatusBadRequest},         // malformed
+		{"/insert", `{"x":[1,2,3],"label":9}`, http.StatusBadRequest}, // unknown label
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s %q: status %d, want %d", tc.path, tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/classify")
+	if err != nil {
+		t.Fatalf("get classify: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /classify: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPNDJSONBatch is the acceptance-criterion test: several clients
+// concurrently stream NDJSON batches with per-request anytime budgets
+// and must each get one in-order response line per request line.
+func TestHTTPNDJSONBatch(t *testing.T) {
+	_, ts := startHTTP(t, 4, 600, Config{})
+	const clients, lines = 6, 150
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var in bytes.Buffer
+			labels := make([]int, lines)
+			budgets := make([]int, lines)
+			for i := 0; i < lines; i++ {
+				x, label := genPoint(rng)
+				labels[i] = label
+				budgets[i] = 1 + rng.Intn(60) // per-request anytime budget
+				fmt.Fprintf(&in, `{"x":[%g,%g,%g],"budget":%d}`+"\n", x[0], x[1], x[2], budgets[i])
+			}
+			resp, err := http.Post(ts.URL+"/classify", "application/x-ndjson", &in)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			got, correct := 0, 0
+			for sc.Scan() {
+				var line lineResponse
+				if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+					errc <- fmt.Errorf("line %d: %v", got, err)
+					return
+				}
+				if line.Error != "" {
+					errc <- fmt.Errorf("line %d: server error %q", got, line.Error)
+					return
+				}
+				if line.Granted != budgets[got] {
+					errc <- fmt.Errorf("line %d: granted %d, want %d (admission disabled)", got, line.Granted, budgets[got])
+					return
+				}
+				if line.Label == labels[got] {
+					correct++
+				}
+				got++
+			}
+			if got != lines {
+				errc <- fmt.Errorf("got %d response lines, want %d", got, lines)
+				return
+			}
+			if float64(correct)/lines < 0.9 {
+				errc <- fmt.Errorf("accuracy %.2f < 0.9", float64(correct)/lines)
+			}
+		}(int64(cl + 100))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPNDJSONBadLines: malformed lines get per-line errors, the
+// stream keeps going.
+func TestHTTPNDJSONBadLines(t *testing.T) {
+	_, ts := startHTTP(t, 1, 100, Config{})
+	in := `{"x":[3.0,-3.0,0.0],"budget":5}
+garbage
+{"x":[0.0,0.0,0.0],"budget":5}
+`
+	resp, err := http.Post(ts.URL+"/classify?stream=1", "text/plain", strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	var lines []lineResponse
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var l lineResponse
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("%d response lines, want 3", len(lines))
+	}
+	if lines[0].Error != "" || lines[2].Error != "" {
+		t.Fatalf("good lines errored: %+v", lines)
+	}
+	if lines[1].Error == "" {
+		t.Fatal("garbage line did not error")
+	}
+}
+
+func TestHTTPInsertAndStats(t *testing.T) {
+	s, ts := startHTTP(t, 2, 50, Config{})
+	resp, err := http.Post(ts.URL+"/insert", "application/json",
+		strings.NewReader(`{"x":[3.0,-3.0,0.2],"label":1}`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	// NDJSON bulk insert.
+	bulk := `{"x":[0.1,0.1,0.0],"label":0}
+{"x":[6.1,-6.0,0.0],"label":2}
+{"x":[1,2],"label":0}
+`
+	resp, err = http.Post(ts.URL+"/insert", "application/x-ndjson", strings.NewReader(bulk))
+	if err != nil {
+		t.Fatalf("bulk insert: %v", err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	acks := 0
+	errLines := 0
+	for sc.Scan() {
+		var ack map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &ack); err != nil {
+			t.Fatalf("ack decode: %v", err)
+		}
+		if ack["error"] != nil {
+			errLines++
+		}
+		acks++
+	}
+	resp.Body.Close()
+	if acks != 3 || errLines != 1 {
+		t.Fatalf("bulk: %d acks (%d errors), want 3 acks 1 error", acks, errLines)
+	}
+	if s.Len() != 53 {
+		t.Fatalf("server size %d, want 53", s.Len())
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if st.Observations != 53 || st.Shards != 2 || st.Inserts != 53 {
+		t.Fatalf("stats %+v, want 53 observations (all via Insert) over 2 shards", st)
+	}
+}
+
+func TestHTTPDraining(t *testing.T) {
+	s, ts := startHTTP(t, 1, 100, Config{})
+	resp, _ := http.Get(ts.URL + "/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d before drain", resp.StatusCode)
+	}
+	s.SetDraining(true)
+	resp, _ = http.Get(ts.URL + "/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d during drain, want 503", resp.StatusCode)
+	}
+	resp, _ = http.Post(ts.URL+"/classify", "application/json",
+		strings.NewReader(`{"x":[0.0,0.0,0.0],"budget":5}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("classify %d during drain, want 503", resp.StatusCode)
+	}
+}

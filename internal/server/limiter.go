@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the global admission controller: a bucket of node-read
+// tokens refilled at a fixed rate. Every request asks for its desired
+// refinement budget and is granted whatever whole number of tokens is
+// available, down to zero — never an error. Zero is always a valid
+// anytime budget (the level-0 root model answers without reading any
+// node), so under overload the server degrades every answer's model
+// granularity instead of queueing or shedding requests: aggregate
+// refinement work tracks the configured node-read capacity, not the
+// request count. This is the serving-time form of the paper's premise
+// that classification quality should scale with the time the stream
+// allows.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (node reads) per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	// now is stubbed in tests; time.Now otherwise.
+	now func() time.Time
+}
+
+// newTokenBucket returns a bucket refilled at rate node reads per second
+// with the given capacity, starting full.
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// take grants up to want whole tokens, returning how many were granted.
+// A nil bucket grants everything (admission disabled).
+func (b *tokenBucket) take(want int) int {
+	if b == nil || want <= 0 {
+		return want
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	granted := want
+	if float64(granted) > b.tokens {
+		granted = int(b.tokens)
+	}
+	b.tokens -= float64(granted)
+	return granted
+}
+
+// refund returns unspent tokens to the bucket (capped at burst) —
+// granted budget the models could not absorb must not count against
+// the configured capacity.
+func (b *tokenBucket) refund(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += float64(n)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}

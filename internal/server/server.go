@@ -1,0 +1,489 @@
+// Package server is the anytime classification serving subsystem: a
+// sharded set of multi-class Bayes trees behind per-shard reader/writer
+// locks, a global token-bucket admission controller that makes the
+// aggregate refinement work track a configured node-read capacity, and
+// an HTTP surface (/classify with single and NDJSON streaming forms,
+// /insert, /stats, /healthz) plus snapshot save/load for warm starts.
+//
+// Sharding model: observations are hash-partitioned across shards, each
+// shard holding an independent MultiTree over its partition. Because
+// cluster features are additive, the union model is exactly the
+// size-weighted mixture of the shard models, so a classification fans
+// out over all shards — splitting its granted node budget in proportion
+// to shard sizes — and combines the per-shard class scores with a
+// size-weighted log-sum-exp. Reads take the shard RLock, so any number
+// of classifications proceed concurrently; an insert write-locks only
+// the one shard that owns the point, leaving the other shards' read
+// capacity untouched.
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayestree/internal/core"
+	"bayestree/internal/persist"
+	"bayestree/internal/stats"
+)
+
+// DefaultMaxBudget caps per-request refinement budgets when Config
+// leaves MaxBudget zero, bounding the work one request can demand.
+const DefaultMaxBudget = 1024
+
+// Config parameterises a Server.
+type Config struct {
+	// DefaultBudget is the node-read budget used when a request does not
+	// specify one (zero means 32).
+	DefaultBudget int
+	// MaxBudget caps any single request's budget, including "full
+	// refinement" requests (≤ 0 means DefaultMaxBudget).
+	MaxBudget int
+	// NodesPerSecond is the global admission capacity in node reads per
+	// second across all requests; 0 disables admission control.
+	NodesPerSecond float64
+	// Burst is the admission bucket capacity in node reads (≤ 0 means
+	// max(NodesPerSecond, MaxBudget)).
+	Burst float64
+	// Query selects the descent strategy and priority used for every
+	// query (zero value = the paper's best: global probabilistic).
+	Query core.ClassifierOptions
+}
+
+// withDefaults returns the configuration with zero values resolved.
+func (c Config) withDefaults() Config {
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 32
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = DefaultMaxBudget
+	}
+	if c.Burst <= 0 {
+		c.Burst = c.NodesPerSecond
+		if float64(c.MaxBudget) > c.Burst {
+			c.Burst = float64(c.MaxBudget)
+		}
+	}
+	return c
+}
+
+// shard is one partition of the model: a multi-class tree behind a
+// reader/writer lock.
+type shard struct {
+	mu   sync.RWMutex
+	tree *core.MultiTree
+}
+
+// Server is a sharded anytime classification server. All methods are
+// safe for concurrent use.
+type Server struct {
+	cfg      Config
+	shards   []*shard
+	labels   []int
+	dim      int
+	admit    *tokenBucket
+	start    time.Time
+	draining atomic.Bool
+
+	requests       atomic.Int64
+	inserts        atomic.Int64
+	nodesRequested atomic.Int64
+	nodesGranted   atomic.Int64
+	nodesRead      atomic.Int64
+}
+
+// New builds a server over pre-built per-shard trees. All shards must
+// share one dimensionality and one class-label ordering (score
+// combination relies on positional alignment); shards may be empty and
+// fill up through Insert.
+func New(trees []*core.MultiTree, cfg Config) (*Server, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("server: no shards")
+	}
+	labels := trees[0].Labels()
+	dim := trees[0].Config().Dim
+	for i, t := range trees {
+		if t == nil {
+			return nil, fmt.Errorf("server: nil shard %d", i)
+		}
+		if t.Config().Dim != dim {
+			return nil, fmt.Errorf("server: shard %d dim %d != shard 0 dim %d", i, t.Config().Dim, dim)
+		}
+		tl := t.Labels()
+		if len(tl) != len(labels) {
+			return nil, fmt.Errorf("server: shard %d has %d classes, shard 0 has %d", i, len(tl), len(labels))
+		}
+		for c := range tl {
+			if tl[c] != labels[c] {
+				return nil, fmt.Errorf("server: shard %d label order %v != shard 0 %v", i, tl, labels)
+			}
+		}
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, labels: labels, dim: dim, start: time.Now()}
+	for _, t := range trees {
+		s.shards = append(s.shards, &shard{tree: t})
+	}
+	if cfg.NodesPerSecond > 0 {
+		s.admit = newTokenBucket(cfg.NodesPerSecond, cfg.Burst)
+	}
+	return s, nil
+}
+
+// NewEmpty builds a server of empty shards that learns purely online:
+// every shard starts with an empty multi-class tree over the given
+// labels and fills up through Insert.
+func NewEmpty(shards int, treeCfg core.Config, labels []int, mopts core.MultiOptions, cfg Config) (*Server, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("server: shard count %d", shards)
+	}
+	trees := make([]*core.MultiTree, shards)
+	for i := range trees {
+		t, err := core.NewMultiTree(treeCfg, labels, mopts)
+		if err != nil {
+			return nil, err
+		}
+		trees[i] = t
+	}
+	return New(trees, cfg)
+}
+
+// FromSnapshot builds a server from a sharded-set snapshot written by
+// WriteSnapshot (or persist.EncodeMultiTrees), warm-starting with the
+// saved trees' frozen caches rebuilt.
+func FromSnapshot(r io.Reader, cfg Config) (*Server, error) {
+	trees, err := persist.DecodeMultiTrees(r)
+	if err != nil {
+		return nil, err
+	}
+	return New(trees, cfg)
+}
+
+// WriteSnapshot encodes every shard's tree into one versioned snapshot.
+// It holds all shard read locks for the duration, so the snapshot is a
+// consistent cut: concurrent classifications proceed, inserts wait.
+func (s *Server) WriteSnapshot(w io.Writer) error {
+	trees := make([]*core.MultiTree, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		trees[i] = sh.tree
+	}
+	return persist.EncodeMultiTrees(w, trees)
+}
+
+// NumShards returns the number of shards.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Labels returns the class labels the server predicts.
+func (s *Server) Labels() []int { return append([]int(nil), s.labels...) }
+
+// Dim returns the dimensionality of served observations.
+func (s *Server) Dim() int { return s.dim }
+
+// Len returns the total number of observations across all shards.
+func (s *Server) Len() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.tree.Len()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// SetDraining marks the server as draining (or not): /healthz starts
+// failing so load balancers stop routing here and newly arriving
+// classify/insert requests are rejected with 503. Requests already
+// being processed are unaffected — cmd/serveclass pairs this with
+// http.Server.Shutdown, which waits for them to finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Result is the outcome of one served classification.
+type Result struct {
+	// Label is the predicted class.
+	Label int `json:"label"`
+	// Requested is the node budget the request asked for (after capping).
+	Requested int `json:"requested"`
+	// Granted is what the admission controller allowed — under load this
+	// drops toward zero and answers coarsen instead of queueing.
+	Granted int `json:"granted"`
+	// NodesRead is the refinement work actually spent; it can fall short
+	// of Granted when the models exhaust early.
+	NodesRead int `json:"nodes_read"`
+}
+
+// clampBudget resolves a request-level budget against the configured
+// default and cap: 0 means the server default, negative means "as much
+// as allowed". This is the HTTP-facing convention; the stream.Engine
+// path uses capBudget instead, where 0 is a literal zero.
+func (s *Server) clampBudget(budget int) int {
+	if budget == 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	return s.capBudget(budget)
+}
+
+// capBudget applies only the hard cap: negative and over-cap budgets
+// become MaxBudget, everything else — including 0 — is taken literally.
+func (s *Server) capBudget(budget int) int {
+	if budget < 0 || budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	return budget
+}
+
+// Classify serves one anytime classification: the requested budget is
+// capped, passed through admission, split across shards in proportion
+// to their sizes, spent on per-shard anytime queries under shard read
+// locks, and the per-shard class scores are combined with a
+// size-weighted log-sum-exp — exactly the mixture the union tree would
+// have produced. budget 0 means the server default, negative means "as
+// much as the cap and admission allow".
+func (s *Server) Classify(x []float64, budget int) (Result, error) {
+	return s.classifyResolved(x, s.clampBudget(budget))
+}
+
+// classifyResolved is Classify after budget resolution: requested is
+// the final capped request, admission decides what of it is granted,
+// and whatever granted work the models could not absorb (exhaustion,
+// errors) is refunded to the bucket so unspent grants do not eat the
+// configured node-read capacity.
+func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
+	if len(x) != s.dim {
+		return Result{}, fmt.Errorf("server: point dim %d != model dim %d", len(x), s.dim)
+	}
+	granted := s.admit.take(requested)
+	s.requests.Add(1)
+	s.nodesRequested.Add(int64(requested))
+	s.nodesGranted.Add(int64(granted))
+	read := 0
+	defer func() {
+		if granted > read {
+			s.admit.refund(granted - read)
+		}
+	}()
+
+	sizes := make([]int, len(s.shards))
+	total := 0
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		sizes[i] = sh.tree.Len()
+		sh.mu.RUnlock()
+		total += sizes[i]
+	}
+	if total == 0 {
+		return Result{}, fmt.Errorf("server: no observations yet")
+	}
+
+	// Proportional budget split, remainder to the earliest shards.
+	budgets := make([]int, len(s.shards))
+	spent := 0
+	for i, n := range sizes {
+		budgets[i] = granted * n / total
+		spent += budgets[i]
+	}
+	for i := 0; spent < granted && i < len(budgets); i++ {
+		if sizes[i] > 0 {
+			budgets[i]++
+			spent++
+		}
+	}
+
+	combined := make([]float64, len(s.labels))
+	perClass := make([][]float64, len(s.labels))
+	for c := range perClass {
+		perClass[c] = make([]float64, 0, len(s.shards))
+	}
+	for i, sh := range s.shards {
+		if sizes[i] == 0 {
+			continue
+		}
+		sh.mu.RLock()
+		q, err := sh.tree.NewQuery(x, s.cfg.Query)
+		if err != nil {
+			sh.mu.RUnlock()
+			return Result{}, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		for b := 0; b < budgets[i]; b++ {
+			if !q.Step() {
+				break
+			}
+		}
+		read += q.NodesRead()
+		scores := q.Scores()
+		n := sh.tree.Len()
+		sh.mu.RUnlock()
+		logW := math.Log(float64(n) / float64(total))
+		for c, sc := range scores {
+			if !math.IsInf(sc, -1) {
+				perClass[c] = append(perClass[c], logW+sc)
+			}
+		}
+	}
+	best := 0
+	for c := range combined {
+		if len(perClass[c]) == 0 {
+			combined[c] = math.Inf(-1)
+		} else {
+			combined[c] = stats.LogSumExp(perClass[c])
+		}
+		if combined[c] > combined[best] {
+			best = c
+		}
+	}
+	s.nodesRead.Add(int64(read))
+	return Result{Label: s.labels[best], Requested: requested, Granted: granted, NodesRead: read}, nil
+}
+
+// Insert routes a labelled observation to its shard by content hash and
+// inserts it under the shard write lock; the remaining shards keep
+// serving reads untouched. This is the serving form of the paper's
+// online learning requirement.
+func (s *Server) Insert(x []float64, label int) error {
+	if len(x) != s.dim {
+		return fmt.Errorf("server: point dim %d != model dim %d", len(x), s.dim)
+	}
+	sh := s.shards[s.shardFor(x)]
+	sh.mu.Lock()
+	err := sh.tree.Insert(x, label)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.inserts.Add(1)
+	return nil
+}
+
+// Learn is Insert under the name stream.Engine expects, so
+// stream.RunBatch can drive a live server for ingest-while-serving.
+func (s *Server) Learn(x []float64, label int) error { return s.Insert(x, label) }
+
+// ClassifyBatchBudgets classifies xs[i] with budget budgets[i] using a
+// pool of workers (≤ 0 = GOMAXPROCS, matching the core.Classifier
+// implementation of the same contract), returning predictions in input
+// order.
+// Budgets are literal here — 0 means zero node reads, the level-0
+// answer — matching the stream.Engine contract, where each object's
+// budget is exactly what its inter-arrival gap allowed; only the hard
+// MaxBudget cap applies. Each item still passes the admission
+// controller individually, so a batch cannot starve single requests.
+// Together with Learn this implements stream.Engine.
+func (s *Server) ClassifyBatchBudgets(xs [][]float64, budgets []int, workers int) ([]int, error) {
+	if len(budgets) != len(xs) {
+		return nil, fmt.Errorf("server: %d budgets for %d objects", len(budgets), len(xs))
+	}
+	preds := make([]int, len(xs))
+	errs := make([]error, len(xs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runPool(len(xs), workers, func(i int) {
+		res, err := s.classifyResolved(xs[i], s.capBudget(budgets[i]))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		preds[i] = res.Label
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return preds, nil
+}
+
+// runPool runs fn(i) for i in [0, n) on up to workers goroutines fed by
+// an atomic counter — the one worker-pool shape every batch path here
+// shares.
+func runPool(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// shardFor hashes the observation's float bits to a shard index.
+func (s *Server) shardFor(x []float64) int {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return int(h.Sum64() % uint64(len(s.shards)))
+}
+
+// Stats is a point-in-time summary of the server, served by /stats.
+type Stats struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Shards         int     `json:"shards"`
+	Observations   int     `json:"observations"`
+	ShardSizes     []int   `json:"shard_sizes"`
+	Labels         []int   `json:"labels"`
+	Requests       int64   `json:"requests"`
+	Inserts        int64   `json:"inserts"`
+	NodesRequested int64   `json:"nodes_requested"`
+	NodesGranted   int64   `json:"nodes_granted"`
+	NodesRead      int64   `json:"nodes_read"`
+	Draining       bool    `json:"draining"`
+}
+
+// Stats returns a point-in-time summary of shard sizes and the
+// admission counters. The ratio NodesGranted/NodesRequested is the
+// load signal: it falls below 1 exactly when the admission controller
+// is coarsening answers to hold the node-read rate at capacity.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Shards:         len(s.shards),
+		Labels:         s.Labels(),
+		Requests:       s.requests.Load(),
+		Inserts:        s.inserts.Load(),
+		NodesRequested: s.nodesRequested.Load(),
+		NodesGranted:   s.nodesGranted.Load(),
+		NodesRead:      s.nodesRead.Load(),
+		Draining:       s.draining.Load(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n := sh.tree.Len()
+		sh.mu.RUnlock()
+		st.ShardSizes = append(st.ShardSizes, n)
+		st.Observations += n
+	}
+	return st
+}

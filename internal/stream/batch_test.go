@@ -94,3 +94,18 @@ func TestRunBatchWindowed(t *testing.T) {
 		t.Fatalf("budget histogram sums %d, want %d", hist, res.Processed)
 	}
 }
+
+// TestRunBatchNilClassifier: both a bare nil Engine and a typed-nil
+// *core.Classifier must error cleanly at any window size — a typed nil
+// slips past interface nil checks and used to be a panic risk.
+func TestRunBatchNilClassifier(t *testing.T) {
+	items := []Item{{X: []float64{0}, Label: 0, Labeled: true}}
+	for _, window := range []int{1, 4} {
+		if _, err := RunBatch(nil, items, Constant{Interval: 1}, Budgeter{NodesPerSecond: 1}, 1, window, 2); err == nil {
+			t.Fatalf("window %d: nil engine did not error", window)
+		}
+		if _, err := RunBatch((*core.Classifier)(nil), items, Constant{Interval: 1}, Budgeter{NodesPerSecond: 1}, 1, window, 2); err == nil {
+			t.Fatalf("window %d: typed-nil classifier did not error", window)
+		}
+	}
+}

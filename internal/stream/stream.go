@@ -173,21 +173,39 @@ func Run(clf *core.Classifier, items []Item, arrivals Arrivals, budgeter Budgete
 	return res, nil
 }
 
+// Engine is the classification-and-learning surface RunBatch drives: a
+// batch anytime classifier with per-object budgets plus online learning.
+// *core.Classifier implements it directly; the serving subsystem's
+// sharded server implements it too, so the same stream runner can feed
+// a live server for ingest-while-serving.
+type Engine interface {
+	// ClassifyBatchBudgets classifies xs[i] with budgets[i] node reads
+	// using a pool of workers, returning predictions in input order.
+	ClassifyBatchBudgets(xs [][]float64, budgets []int, workers int) ([]int, error)
+	// Learn absorbs one labelled observation online.
+	Learn(x []float64, label int) error
+}
+
 // RunBatch is the parallel window variant of Run for high-rate serving:
 // arrival gaps and node budgets are drawn exactly as in Run, but objects
 // are processed in windows of the given size — each window is classified
-// in parallel by the classifier's batch engine with per-object budgets,
-// then the window's labelled objects are learned sequentially in arrival
-// order. window ≤ 1 reproduces Run exactly (and is delegated to it);
-// larger windows trade label freshness within one window for parallel
-// throughput, since predictions inside a window do not yet see that
-// window's labels.
-func RunBatch(clf *core.Classifier, items []Item, arrivals Arrivals, budgeter Budgeter, seed int64, window, workers int) (*Result, error) {
-	if window <= 1 {
-		return Run(clf, items, arrivals, budgeter, seed)
+// in parallel by the engine's batch path with per-object budgets, then
+// the window's labelled objects are learned sequentially in arrival
+// order. For a *core.Classifier, window ≤ 1 reproduces Run exactly (and
+// is delegated to it); larger windows trade label freshness within one
+// window for parallel throughput, since predictions inside a window do
+// not yet see that window's labels.
+func RunBatch(clf Engine, items []Item, arrivals Arrivals, budgeter Budgeter, seed int64, window, workers int) (*Result, error) {
+	// A typed-nil *core.Classifier would slip past the interface nil
+	// check below; routing it into Run yields its clean nil error.
+	if c, ok := clf.(*core.Classifier); ok && (c == nil || window <= 1) {
+		return Run(c, items, arrivals, budgeter, seed)
 	}
 	if clf == nil {
 		return nil, fmt.Errorf("stream: nil classifier")
+	}
+	if window < 1 {
+		window = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{BudgetHist: make(map[int]int), MinBudget: math.MaxInt32}
