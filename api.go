@@ -40,6 +40,14 @@ type (
 	MultiTree = core.MultiTree
 	// MultiOptions configure the multi-class tree.
 	MultiOptions = core.MultiOptions
+	// DecayOptions configure exponential forgetting for evolving
+	// streams: Lambda is the per-epoch fade exponent (weights decay as
+	// 2^(−λ·Δe), Section 4.2) and MinWeight the maintenance sweep's
+	// pruning floor. Enable with Classifier.EnableDecay (or
+	// MultiTree.EnableDecay), advance logical time with AdvanceDecay.
+	DecayOptions = core.DecayOptions
+	// SweepStats summarise one decay maintenance sweep.
+	SweepStats = core.SweepStats
 	// Dataset is a labelled vector data set.
 	Dataset = dataset.Dataset
 	// CSVOptions control CSV parsing.

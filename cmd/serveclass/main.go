@@ -12,6 +12,13 @@
 //
 //	serveclass -snapshot model.btsn -addr :8080
 //
+// Track concept drift with exponential forgetting: weights fade by
+// 2^(-λ) per decay epoch (-decay-every wall-clock time each), and a
+// background maintenance sweep prunes observations and subtrees whose
+// decayed weight falls below -min-weight, bounding the model:
+//
+//	serveclass -dataset covertype -decay-lambda 0.1 -decay-every 30s -min-weight 0.05
+//
 // Endpoints: POST /classify ({"x":[...],"budget":25}; NDJSON body for
 // batch streaming), POST /insert ({"x":[...],"label":2}; NDJSON for
 // bulk ingest), GET /stats, GET /healthz. On SIGTERM or SIGINT the
@@ -55,12 +62,18 @@ func main() {
 		pooled   = flag.Bool("pooled", false, "bootstrap trees with pooled per-entry variance")
 		entropy  = flag.Bool("entropy", false, "bootstrap trees with entropy-weighted descent priority")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful drain timeout on SIGTERM/SIGINT")
+		decayL   = flag.Float64("decay-lambda", 0, "concept-drift forgetting rate λ: weights fade 2^(-λ) per decay epoch (0 = append-only, never forget)")
+		minW     = flag.Float64("min-weight", 0.05, "maintenance pruning floor: observations whose decayed weight falls below it are forgotten (with -decay-lambda > 0)")
+		decayDur = flag.Duration("decay-every", time.Minute, "wall-clock length of one decay epoch for the background maintenance sweep (with -decay-lambda > 0)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"Usage: serveclass [flags]\n\n"+
 				"Serve anytime classification over HTTP from a sharded Bayes tree model.\n"+
-				"Model source: -snapshot (warm start) or -dataset (bootstrap); one is required.\n\n"+
+				"Model source: -snapshot (warm start) or -dataset (bootstrap); one is required.\n"+
+				"-decay-lambda enables exponential forgetting (concept-drift tracking with\n"+
+				"bounded memory); -decay-every sets the epoch length and -min-weight the\n"+
+				"maintenance sweep's pruning floor.\n\n"+
 				"Endpoints:\n"+
 				"  POST /classify   {\"x\":[...],\"budget\":25}; NDJSON body streams a batch\n"+
 				"  POST /insert     {\"x\":[...],\"label\":2}; NDJSON body bulk-ingests\n"+
@@ -88,6 +101,19 @@ func main() {
 		Burst:          *burst,
 		Query:          core.ClassifierOptions{Strategy: strat, Priority: prio},
 	}
+	if *decayL > 0 {
+		decay := core.DecayOptions{Lambda: *decayL, MinWeight: *minW}
+		if err := decay.Validate(); err != nil {
+			usageErrorf("%v", err)
+		}
+		if *decayDur <= 0 {
+			usageErrorf("-decay-every must be > 0 with -decay-lambda set, got %v", *decayDur)
+		}
+		cfg.Decay = decay
+		cfg.DecayEvery = *decayDur
+	} else if *decayL < 0 {
+		usageErrorf("-decay-lambda must be ≥ 0, got %v", *decayL)
+	}
 
 	s, err := buildServer(*snapshot, *dsName, *scale, *seed, *shards, *pooled, *entropy, cfg)
 	if err != nil {
@@ -97,8 +123,8 @@ func main() {
 		}
 		log.Fatalf("serveclass: %v", err)
 	}
-	log.Printf("serving %d observations over %d shards on %s (default budget %d, admission %s)",
-		s.Len(), s.NumShards(), *addr, *budget, admissionDesc(*nps))
+	log.Printf("serving %d observations over %d shards on %s (default budget %d, admission %s, decay %s)",
+		s.Len(), s.NumShards(), *addr, *budget, admissionDesc(*nps), decayDesc(s, *decayL, *minW, *decayDur))
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -114,13 +140,15 @@ func main() {
 	}
 
 	// Graceful drain: fail health checks first so load balancers stop
-	// routing here, then let in-flight requests finish, then persist.
+	// routing here, then let in-flight requests finish, stop the decay
+	// maintenance loop, then persist.
 	s.SetDraining(true)
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("serveclass: drain: %v", err)
 	}
+	s.Close()
 	if *snapshot != "" {
 		if err := saveSnapshot(s, *snapshot); err != nil {
 			log.Fatalf("serveclass: %v", err)
@@ -192,6 +220,21 @@ func admissionDesc(nps float64) string {
 		return "unlimited"
 	}
 	return fmt.Sprintf("%.0f node reads/s", nps)
+}
+
+// decayDesc describes the decay state the server actually runs with —
+// which may come from a warm-started snapshot rather than the flags. A
+// decayed snapshot loaded without -decay-lambda keeps fading scores
+// but advances no epochs, which deserves a loud hint, not "off".
+func decayDesc(s *server.Server, lambda, minWeight float64, every time.Duration) string {
+	st := s.Stats()
+	if !st.DecayEnabled {
+		return "off"
+	}
+	if lambda <= 0 {
+		return fmt.Sprintf("snapshot state at epoch %d — no maintenance loop; pass -decay-lambda/-decay-every to resume forgetting", st.DecayEpoch)
+	}
+	return fmt.Sprintf("λ=%g floor=%g epoch=%v", lambda, minWeight, every)
 }
 
 func parseStrategy(s string) (core.Strategy, bool) {

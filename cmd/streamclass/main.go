@@ -12,9 +12,13 @@
 // -window sets the batch window size: 1 (default) reproduces the strictly
 // sequential online run, larger windows classify each window in parallel
 // with -workers goroutines and learn the window's labels afterwards,
-// trading label freshness within a window for throughput. Bad invocations
-// (unknown data set or loader, malformed flags) exit with status 2;
-// runtime failures exit with status 1.
+// trading label freshness within a window for throughput.
+//
+// -decay-lambda enables exponential forgetting on the classifier for
+// drifting streams: every -decay-every learned objects advance one decay
+// epoch, fading stored weights by 2^(-λ) and pruning what falls below
+// -min-weight. Bad invocations (unknown data set or loader, malformed
+// flags) exit with status 2; runtime failures exit with status 1.
 package main
 
 import (
@@ -43,13 +47,17 @@ func main() {
 		seed    = flag.Int64("seed", 42, "seed")
 		window  = flag.Int("window", 1, "batch window size: 1 = strictly sequential online run, >1 = classify each window in parallel, then learn its labels")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel classification workers per window (only used when -window > 1)")
+		decayL  = flag.Float64("decay-lambda", 0, "concept-drift forgetting rate λ: weights fade 2^(-λ) per decay epoch (0 = never forget)")
+		minW    = flag.Float64("min-weight", 0.05, "pruning floor for decayed observations (with -decay-lambda > 0)")
+		decayN  = flag.Int("decay-every", 500, "learned objects per decay epoch (with -decay-lambda > 0)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"Usage: streamclass [flags]\n\n"+
 				"Simulate a Poisson data stream and classify each arrival with the anytime\n"+
 				"budget its inter-arrival gap allows; labelled arrivals are learned online.\n"+
-				"Use -window/-workers for the windowed parallel (batch) run.\n\nFlags:\n")
+				"Use -window/-workers for the windowed parallel (batch) run and\n"+
+				"-decay-lambda/-decay-every/-min-weight for drift-tracking forgetting.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,9 +91,28 @@ func main() {
 	for i := nTrain; i < ds.Len(); i++ {
 		items = append(items, stream.Item{X: ds.X[i], Label: ds.Y[i], Labeled: true})
 	}
+	var engine stream.Engine = clf
+	if *decayL > 0 {
+		decay := core.DecayOptions{Lambda: *decayL, MinWeight: *minW}
+		if err := decay.Validate(); err != nil {
+			usagef("%v", err)
+		}
+		if *decayN <= 0 {
+			usagef("-decay-every must be > 0 with -decay-lambda set, got %d", *decayN)
+		}
+		if err := clf.EnableDecay(decay); err != nil {
+			fatalf("decay: %v", err)
+		}
+		// The wrapper is not a *core.Classifier, so RunBatch keeps it on
+		// the generic engine path at every window size — the decay clock
+		// ticks for sequential (-window 1) runs too.
+		engine = stream.WithDecayEvery(clf, *decayN)
+	} else if *decayL < 0 {
+		usagef("-decay-lambda must be ≥ 0, got %v", *decayL)
+	}
 	budgeter := stream.Budgeter{NodesPerSecond: *nps, MaxNodes: 500}
 	start := time.Now()
-	res, err := stream.RunBatch(clf, items, stream.Poisson{Rate: *rate}, budgeter, *seed, *window, *workers)
+	res, err := stream.RunBatch(engine, items, stream.Poisson{Rate: *rate}, budgeter, *seed, *window, *workers)
 	if err != nil {
 		fatalf("stream: %v", err)
 	}

@@ -46,6 +46,9 @@ type Classifier struct {
 	// queryPool recycles Query objects (and, through them, the per-class
 	// cursors) so a stream of classifications allocates nothing per object.
 	queryPool sync.Pool
+	// priorBuf is reusable scratch for refreshPriors, keeping the
+	// per-Learn prior refresh allocation-free.
+	priorBuf []float64
 }
 
 // NewClassifier builds a classifier from per-class trees. labels[i] is the
@@ -55,7 +58,6 @@ func NewClassifier(labels []int, trees []*Tree, opts ClassifierOptions) (*Classi
 	if len(labels) == 0 || len(labels) != len(trees) {
 		return nil, fmt.Errorf("core: %d labels for %d trees", len(labels), len(trees))
 	}
-	var total float64
 	dim := -1
 	seen := make(map[int]bool, len(labels))
 	for i, t := range trees {
@@ -71,11 +73,6 @@ func NewClassifier(labels []int, trees []*Tree, opts ClassifierOptions) (*Classi
 			return nil, fmt.Errorf("core: duplicate class label %d", labels[i])
 		}
 		seen[labels[i]] = true
-		total += float64(t.Len())
-	}
-	logPriors := make([]float64, len(trees))
-	for i, t := range trees {
-		logPriors[i] = math.Log(float64(t.Len()) / total)
 	}
 	if opts.K <= 0 {
 		opts.K = DefaultK(len(labels))
@@ -86,9 +83,14 @@ func NewClassifier(labels []int, trees []*Tree, opts ClassifierOptions) (*Classi
 	c := &Classifier{
 		labels:    append([]int(nil), labels...),
 		trees:     append([]*Tree(nil), trees...),
-		logPriors: logPriors,
+		logPriors: make([]float64, len(trees)),
 		opts:      opts,
 	}
+	// Priors come from the trees' effective masses (Weight), which for
+	// undecayed trees is exactly the count-based estimate and for
+	// decayed trees (e.g. a reloaded snapshot) folds the outstanding
+	// decay factor in.
+	c.refreshPriors()
 	return c, nil
 }
 
@@ -127,13 +129,7 @@ func (c *Classifier) Learn(x []float64, label int) error {
 	if err := c.trees[idx].Insert(x); err != nil {
 		return err
 	}
-	var total float64
-	for _, t := range c.trees {
-		total += float64(t.Len())
-	}
-	for i, t := range c.trees {
-		c.logPriors[i] = math.Log(float64(t.Len()) / total)
-	}
+	c.refreshPriors()
 	return nil
 }
 
@@ -208,6 +204,12 @@ func (q *Query) scores() []float64 {
 	}
 	s := q.scoreBuf[:len(q.cursors)]
 	for i, cur := range q.cursors {
+		if cur == nil {
+			// The class tree was empty when the query started (possible
+			// after decay pruned it): no model, no mass.
+			s[i] = math.Inf(-1)
+			continue
+		}
 		s[i] = q.c.logPriors[i] + cur.LogDensity()
 	}
 	return s
@@ -254,10 +256,11 @@ func (q *Query) Predict() int {
 	return q.c.labels[best]
 }
 
-// Exhausted reports whether every class model is fully refined.
+// Exhausted reports whether every class model is fully refined (an
+// empty class tree counts as exhausted).
 func (q *Query) Exhausted() bool {
 	for _, cur := range q.cursors {
-		if !cur.Exhausted() {
+		if cur != nil && !cur.Exhausted() {
 			return false
 		}
 	}
@@ -274,7 +277,7 @@ func (q *Query) Step() bool {
 	rs := q.rankBuf[:0]
 	ss := q.scores()
 	for i, cur := range q.cursors {
-		if !cur.Exhausted() {
+		if cur != nil && !cur.Exhausted() {
 			rs = append(rs, ranked{idx: i, score: ss[i]})
 		}
 	}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func decayTestConfig(dim int) Config {
+	return Config{
+		Dim: dim, MinFanout: 2, MaxFanout: 4, MinLeaf: 2, MaxLeaf: 4,
+		Kernel: DefaultConfig(dim).Kernel,
+	}
+}
+
+func TestDecayOptionsValidate(t *testing.T) {
+	bad := []DecayOptions{
+		{Lambda: -1},
+		{Lambda: math.NaN()},
+		{Lambda: math.Inf(1)},
+		{Lambda: 1, MinWeight: -0.1},
+		{Lambda: 1, MinWeight: 1},
+		{Lambda: 1, MinWeight: math.NaN()},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("DecayOptions %+v: want error", o)
+		}
+	}
+	good := []DecayOptions{{}, {Lambda: 0.5}, {Lambda: 2, MinWeight: 0.25}}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("DecayOptions %+v: unexpected error %v", o, err)
+		}
+	}
+}
+
+// With λ = 0 the decay surface must be inert: epochs do not advance,
+// sweeps do nothing, weights stay nil and queries are untouched.
+func TestDecayDisabledIsInert(t *testing.T) {
+	tree, err := NewTree(decayTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		if err := tree.Insert([]float64{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := []float64{0.4, 0.6}
+	cur := tree.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	cur.RefineAll()
+	before := cur.LogDensity()
+	cur.Close()
+
+	tree.AdvanceEpoch(3)
+	if tree.Epoch() != 0 {
+		t.Fatalf("epoch advanced with decay disabled: %d", tree.Epoch())
+	}
+	st := tree.DecaySweep()
+	if st != (SweepStats{}) {
+		t.Fatalf("sweep did work with decay disabled: %+v", st)
+	}
+	if w := tree.Weight(); w != float64(tree.Len()) {
+		t.Fatalf("Weight %v != Len %d with decay disabled", w, tree.Len())
+	}
+	cur = tree.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	cur.RefineAll()
+	after := cur.LogDensity()
+	cur.Close()
+	if before != after {
+		t.Fatalf("λ=0 density changed: %v -> %v", before, after)
+	}
+}
+
+// Advancing epochs halves the effective mass per epoch at λ = 1, both
+// before the sweep (folded factor) and after it (rescaled storage), and
+// the sweep itself must not change any query answer — renormalisation
+// is invisible to densities.
+func TestDecayWeightAndSweepInvariance(t *testing.T) {
+	tree, err := NewTree(decayTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableDecay(DecayOptions{Lambda: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		if err := tree.Insert([]float64{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w0 := tree.Weight()
+	if math.Abs(w0-60) > 1e-9 {
+		t.Fatalf("fresh weight %v, want 60", w0)
+	}
+	tree.AdvanceEpoch(1)
+	if w := tree.Weight(); math.Abs(w-30) > 1e-9 {
+		t.Fatalf("weight after one epoch %v, want 30", w)
+	}
+
+	x := []float64{0.3, 0.7}
+	cur := tree.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	cur.RefineAll()
+	before := cur.LogDensity()
+	cur.Close()
+
+	tree.DecaySweep()
+	if w := tree.Weight(); math.Abs(w-30) > 1e-9 {
+		t.Fatalf("weight after sweep %v, want 30", w)
+	}
+	cur = tree.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	cur.RefineAll()
+	after := cur.LogDensity()
+	cur.Close()
+	if math.Abs(before-after) > 1e-9 {
+		t.Fatalf("sweep changed density: %v -> %v", before, after)
+	}
+
+	// An insert after two more epochs weighs 4x the swept mass scale.
+	tree.AdvanceEpoch(2)
+	if err := tree.Insert([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Effective: 60 points at 30/4 total plus the new point at 1.
+	want := 30.0/4 + 1
+	if w := tree.Weight(); math.Abs(w-want) > 1e-9 {
+		t.Fatalf("weight after amplified insert %v, want %v", w, want)
+	}
+}
+
+// A full anytime refinement of a decayed tree must equal the weighted
+// kernel density computed directly from the stored points and weights.
+func TestDecayedDensityMatchesDirectComputation(t *testing.T) {
+	tree, err := NewTree(decayTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableDecay(DecayOptions{Lambda: 1}); err != nil {
+		t.Fatal(err)
+	}
+	old := [][]float64{{0.1, 0.2}, {0.15, 0.25}, {0.2, 0.1}}
+	for _, p := range old {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree.AdvanceEpoch(2) // old points now weigh 1/4 of new ones
+	fresh := [][]float64{{0.8, 0.9}, {0.85, 0.8}}
+	for _, p := range fresh {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := []float64{0.5, 0.5}
+	cur := tree.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	cur.RefineAll()
+	got := cur.LogDensity()
+	cur.Close()
+
+	// Direct: weights 1,1,1,4,4 on the stored scale; density is
+	// Σ w_i K(x, p_i) / Σ w_i with the tree's own frozen kernel.
+	ct := tree.cursorable()
+	var num, den float64
+	add := func(p []float64, w float64) {
+		num += w * math.Exp(ct.kern.LogDensityObs(x, p, nil))
+		den += w
+	}
+	for _, p := range old {
+		add(p, 1)
+	}
+	for _, p := range fresh {
+		add(p, 4)
+	}
+	want := math.Log(num / den)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("decayed density %v, want %v", got, want)
+	}
+}
+
+// Sweeping with a pruning floor forgets faded observations: old mass is
+// dropped, fresh mass survives, and the tree stays structurally sound
+// for further inserts and queries.
+func TestDecaySweepPrunesOldMass(t *testing.T) {
+	tree, err := NewTree(decayTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableDecay(DecayOptions{Lambda: 1, MinWeight: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if err := tree.Insert([]float64{0.2 + 0.1*rng.Float64(), 0.2 + 0.1*rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree.AdvanceEpoch(5) // factor 1/32 < 0.1: everything old must go
+	for i := 0; i < 30; i++ {
+		if err := tree.Insert([]float64{0.7 + 0.1*rng.Float64(), 0.7 + 0.1*rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tree.DecaySweep()
+	if st.PointsPruned != 50 {
+		t.Fatalf("pruned %d points, want 50 (stats %+v)", st.PointsPruned, st)
+	}
+	if tree.Len() != 30 {
+		t.Fatalf("size after sweep %d, want 30", tree.Len())
+	}
+	if w := tree.Weight(); math.Abs(w-30) > 1e-9 {
+		t.Fatalf("weight after sweep %v, want 30", w)
+	}
+	// The tree still inserts and answers queries.
+	if err := tree.Insert([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	cur := tree.NewCursor([]float64{0.75, 0.75}, DescentGlobal, PriorityProbabilistic)
+	if cur == nil {
+		t.Fatal("nil cursor on live tree")
+	}
+	cur.RefineAll()
+	if d := cur.LogDensity(); math.IsInf(d, -1) || math.IsNaN(d) {
+		t.Fatalf("degenerate density %v after pruning sweep", d)
+	}
+	cur.Close()
+}
+
+// A decayed tree can fade away entirely; the empty tree must keep
+// working (no cursor, zero weight) and accept new observations.
+func TestDecaySweepToEmptyAndRecover(t *testing.T) {
+	tree, err := NewTree(decayTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableDecay(DecayOptions{Lambda: 1, MinWeight: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		if err := tree.Insert([]float64{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree.AdvanceEpoch(10)
+	tree.DecaySweep()
+	if tree.Len() != 0 {
+		t.Fatalf("size %d after total decay, want 0", tree.Len())
+	}
+	if w := tree.Weight(); w != 0 {
+		t.Fatalf("weight %v after total decay, want 0", w)
+	}
+	if cur := tree.NewCursor([]float64{0.5, 0.5}, DescentGlobal, PriorityProbabilistic); cur != nil {
+		t.Fatal("cursor on empty tree should be nil")
+	}
+	if err := tree.Insert([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 1 {
+		t.Fatalf("size %d after recovery insert, want 1", tree.Len())
+	}
+}
+
+// Under a continuous drifting load with periodic maintenance the tree's
+// size (and so its node count) must stay bounded instead of growing
+// with the stream.
+func TestDecayBoundsTreeSize(t *testing.T) {
+	tree, err := NewMultiTree(decayTestConfig(2), []int{0, 1}, MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableDecay(DecayOptions{Lambda: 1, MinWeight: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	maxSize, maxNodes := 0, 0
+	const rounds, perRound = 25, 200
+	for r := 0; r < rounds; r++ {
+		cx := 0.1 + 0.8*float64(r)/rounds
+		for i := 0; i < perRound; i++ {
+			x := []float64{cx + 0.05*rng.NormFloat64(), 0.5 + 0.05*rng.NormFloat64()}
+			if err := tree.Insert(x, i%2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tree.AdvanceEpoch(1)
+		tree.DecaySweep()
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if tree.Len() > maxSize {
+			maxSize = tree.Len()
+		}
+		if n := tree.CountNodes(); n > maxNodes {
+			maxNodes = n
+		}
+	}
+	// 2^(-λ) geometric fading with per-round inserts converges to
+	// roughly 2x one round's volume; allow generous slack but far less
+	// than the 5000 inserted.
+	if maxSize > 4*perRound {
+		t.Fatalf("tree size not bounded: peak %d for %d inserts/round", maxSize, perRound)
+	}
+	if tree.Len() == 0 {
+		t.Fatal("tree decayed to empty under steady load")
+	}
+	t.Logf("peak size %d, peak nodes %d over %d rounds of %d inserts", maxSize, maxNodes, rounds, perRound)
+}
+
+// A decaying classifier must track an abrupt concept swap that leaves a
+// non-decaying (but still learning) classifier split between the two
+// contradictory concepts.
+func TestClassifierDecayTracksConceptSwap(t *testing.T) {
+	build := func(decay bool) *Classifier {
+		trees := make([]*Tree, 2)
+		for c := range trees {
+			tr, err := NewTree(decayTestConfig(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decay {
+				if err := tr.EnableDecay(DecayOptions{Lambda: 1, MinWeight: 0.05}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			trees[c] = tr
+		}
+		rng := rand.New(rand.NewSource(6))
+		// Concept A: class 0 lives bottom-left, class 1 top-right.
+		centers := [][]float64{{0.25, 0.25}, {0.75, 0.75}}
+		for i := 0; i < 200; i++ {
+			c := i % 2
+			x := []float64{centers[c][0] + 0.05*rng.NormFloat64(), centers[c][1] + 0.05*rng.NormFloat64()}
+			if err := trees[c].Insert(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clf, err := NewClassifier([]int{0, 1}, trees, ClassifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clf
+	}
+	run := func(clf *Classifier, decay bool) float64 {
+		rng := rand.New(rand.NewSource(7))
+		// Concept B swaps the regions: class 0 now lives top-right.
+		centers := [][]float64{{0.75, 0.75}, {0.25, 0.25}}
+		for step := 0; step < 8; step++ {
+			for i := 0; i < 50; i++ {
+				c := i % 2
+				x := []float64{centers[c][0] + 0.05*rng.NormFloat64(), centers[c][1] + 0.05*rng.NormFloat64()}
+				if err := clf.Learn(x, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if decay {
+				clf.AdvanceDecay()
+			}
+		}
+		correct := 0
+		const probes = 200
+		for i := 0; i < probes; i++ {
+			c := i % 2
+			x := []float64{centers[c][0] + 0.05*rng.NormFloat64(), centers[c][1] + 0.05*rng.NormFloat64()}
+			if clf.Classify(x, 40) == c {
+				correct++
+			}
+		}
+		return float64(correct) / probes
+	}
+	accDecay := run(build(true), true)
+	accNone := run(build(false), false)
+	if accDecay < 0.95 {
+		t.Errorf("decaying classifier accuracy %.3f after concept swap, want ≥ 0.95", accDecay)
+	}
+	if accDecay <= accNone {
+		t.Errorf("decay did not help: decayed %.3f vs append-only %.3f", accDecay, accNone)
+	}
+	t.Logf("post-swap accuracy: decay %.3f, append-only %.3f", accDecay, accNone)
+}
+
+// Close must be idempotent: a second Close (for example by a caller
+// whose helper already closed the query) must not return the same
+// object to the pool twice — two later queries would then share one
+// instance.
+func TestQueryCloseIdempotent(t *testing.T) {
+	tr, err := NewTree(decayTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := NewTree(decayTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		if err := tr.Insert([]float64{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr2.Insert([]float64{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clf, err := NewClassifier([]int{0, 1}, []*Tree{tr, tr2}, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, 0.5}
+	q := clf.NewQuery(x)
+	q.Step()
+	q.Close()
+	q.Close() // must be a no-op, not a second pool Put
+	a := clf.NewQuery(x)
+	b := clf.NewQuery(x)
+	if a == b {
+		t.Fatal("double Close returned one query to the pool twice")
+	}
+	a.Close()
+	b.Close()
+
+	var nilQ *Query
+	nilQ.Close() // nil receiver must not panic
+}
+
+// Cursor.Close has the same idempotency contract against the package
+// cursor pool.
+func TestCursorCloseIdempotent(t *testing.T) {
+	tr, err := NewTree(decayTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		if err := tr.Insert([]float64{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := []float64{0.5, 0.5}
+	cur := tr.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	cur.Refine()
+	cur.Close()
+	cur.Close()
+	a := tr.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	b := tr.NewCursor(x, DescentGlobal, PriorityProbabilistic)
+	if a == b {
+		t.Fatal("double Close returned one cursor to the pool twice")
+	}
+	a.Close()
+	b.Close()
+
+	var nilC *Cursor
+	nilC.Close() // nil receiver must not panic
+}

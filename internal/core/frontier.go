@@ -297,9 +297,19 @@ func (c *Cursor) Refine() bool {
 	c.removeTerm(e.logTerm)
 	n := e.child
 	if n.leaf {
-		for _, p := range n.points {
-			logTerm := -c.logN + c.tree.kern.LogDensityObs(c.x, p, c.obs)
-			c.addTerm(logTerm)
+		if n.weights == nil {
+			for _, p := range n.points {
+				logTerm := -c.logN + c.tree.kern.LogDensityObs(c.x, p, c.obs)
+				c.addTerm(logTerm)
+			}
+		} else {
+			// Decayed leaves weight each kernel by its observation's
+			// faded mass (weights and logN share the reference-epoch
+			// scale, so the outstanding decay factor cancels).
+			for i, p := range n.points {
+				logTerm := math.Log(n.weights[i]) - c.logN + c.tree.kern.LogDensityObs(c.x, p, c.obs)
+				c.addTerm(logTerm)
+			}
 		}
 		return true
 	}

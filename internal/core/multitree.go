@@ -43,6 +43,10 @@ type MultiNode struct {
 	leaf    bool
 	entries []MultiEntry
 	points  []LabeledPoint
+	// weights are the per-observation decayed weights of a leaf, parallel
+	// to points; nil means every observation weighs 1 exactly (the only
+	// state of an undecayed tree). See decay.go.
+	weights []float64
 }
 
 // IsLeaf reports whether the node is a leaf.
@@ -53,6 +57,11 @@ func (n *MultiNode) Entries() []MultiEntry { return n.entries }
 
 // Points returns the observations of a leaf (nil for inner nodes).
 func (n *MultiNode) Points() []LabeledPoint { return n.points }
+
+// Weights returns the per-observation decayed weights of a leaf,
+// parallel to Points; nil means every observation weighs 1. The
+// returned slice must not be modified.
+func (n *MultiNode) Weights() []float64 { return n.weights }
 
 // MultiOptions configure the multi-class tree variant.
 type MultiOptions struct {
@@ -79,8 +88,14 @@ type MultiTree struct {
 	counts []float64
 	// queryState caches the per-query constants (root summary, per-class
 	// bandwidths and log counts); built on first query, invalidated by
-	// Insert.
+	// Insert, AdvanceEpoch and DecaySweep.
 	queryState atomic.Pointer[multiQueryState]
+	// decay configures exponential forgetting (zero value = off); epoch
+	// is the current logical time and refEpoch the epoch the stored
+	// weights are valued at. See decay.go.
+	decay    DecayOptions
+	epoch    int64
+	refEpoch int64
 }
 
 // multiQueryState holds what every MultiQuery needs but no query should
@@ -153,11 +168,20 @@ func (t *MultiTree) summarize(n *MultiNode) MultiEntry {
 		e.CFs[i] = stats.NewCF(d)
 	}
 	if n.leaf {
-		for _, p := range n.points {
-			e.Rect.ExtendPoint(p.X)
-			ci := t.index[p.Label]
-			e.CFs[ci].Add(p.X)
-			e.Total.Add(p.X)
+		if n.weights == nil {
+			for _, p := range n.points {
+				e.Rect.ExtendPoint(p.X)
+				ci := t.index[p.Label]
+				e.CFs[ci].Add(p.X)
+				e.Total.Add(p.X)
+			}
+		} else {
+			for i, p := range n.points {
+				e.Rect.ExtendPoint(p.X)
+				ci := t.index[p.Label]
+				e.CFs[ci].AddWeighted(p.X, n.weights[i])
+				e.Total.AddWeighted(p.X, n.weights[i])
+			}
 		}
 	} else {
 		for i := range n.entries {
@@ -230,14 +254,17 @@ func (t *MultiTree) Insert(x []float64, label int) error {
 	}
 	cp := make([]float64, len(x))
 	copy(cp, x)
-	t.insertPoint(LabeledPoint{X: cp, Label: label})
+	w := t.insertWeight()
+	t.insertPointW(LabeledPoint{X: cp, Label: label}, w)
 	t.size++
-	t.counts[ci]++
+	t.counts[ci] += w
 	t.queryState.Store(nil) // cached root summary and bandwidths are stale
 	return nil
 }
 
-func (t *MultiTree) insertPoint(p LabeledPoint) {
+// insertPointW inserts p at leaf level with the given weight (1 for
+// undecayed trees).
+func (t *MultiTree) insertPointW(p LabeledPoint, w float64) {
 	rect := mbr.Point(p.X)
 	path := []*MultiNode{t.root}
 	n := t.root
@@ -246,8 +273,25 @@ func (t *MultiTree) insertPoint(p LabeledPoint) {
 		n = n.entries[idx].Child
 		path = append(path, n)
 	}
-	n.points = append(n.points, p)
+	n.appendPoint(p, w)
 	t.fixOverflow(path)
+}
+
+// appendPoint adds one observation with the given weight, materialising
+// the weight vector only when a non-unit weight first appears.
+func (n *MultiNode) appendPoint(p LabeledPoint, w float64) {
+	n.points = append(n.points, p)
+	if n.weights != nil {
+		n.weights = append(n.weights, w)
+		return
+	}
+	if w != 1 {
+		n.weights = make([]float64, len(n.points))
+		for i := range n.weights {
+			n.weights[i] = 1
+		}
+		n.weights[len(n.points)-1] = w
+	}
 }
 
 func (t *MultiTree) chooseSubtree(n *MultiNode, r mbr.Rect) int {
@@ -276,8 +320,13 @@ func (t *MultiTree) fixOverflow(path []*MultiNode) {
 		}
 		var left, right *MultiNode
 		if n.leaf {
-			l, r := splitItems(n.points, func(p LabeledPoint) mbr.Rect { return mbr.Point(p.X) }, t.cfg.Dim, t.cfg.MinLeaf)
-			left, right = &MultiNode{leaf: true, points: l}, &MultiNode{leaf: true, points: r}
+			if n.weights == nil {
+				l, r := splitItems(n.points, func(p LabeledPoint) mbr.Rect { return mbr.Point(p.X) }, t.cfg.Dim, t.cfg.MinLeaf)
+				left, right = &MultiNode{leaf: true, points: l}, &MultiNode{leaf: true, points: r}
+			} else {
+				li, ri := splitIndices(len(n.points), func(i int) mbr.Rect { return mbr.Point(n.points[i].X) }, t.cfg.Dim, t.cfg.MinLeaf)
+				left, right = weightedMultiLeaf(n.points, n.weights, li), weightedMultiLeaf(n.points, n.weights, ri)
+			}
 		} else {
 			l, r := splitItems(n.entries, func(e MultiEntry) mbr.Rect { return e.Rect }, t.cfg.Dim, t.cfg.MinFanout)
 			left, right = &MultiNode{entries: l}, &MultiNode{entries: r}
@@ -560,12 +609,17 @@ func (q *MultiQuery) Step() bool {
 	}
 	n := e.child
 	if n.leaf {
-		for _, p := range n.points {
+		for i, p := range n.points {
 			c := q.t.index[p.Label]
 			if math.IsInf(q.logNc[c], 1) {
 				continue
 			}
 			l := -q.logNc[c] + q.kern[c].LogDensityObs(q.x, p.X, q.obs)
+			if n.weights != nil {
+				// Decayed leaves weight each kernel by its observation's
+				// faded mass (same reference-epoch scale as logNc).
+				l += math.Log(n.weights[i])
+			}
 			q.addTerm(c, l)
 		}
 		return true
@@ -576,16 +630,23 @@ func (q *MultiQuery) Step() bool {
 	return true
 }
 
-// scores returns per-class log posterior scores.
+// scores returns per-class log posterior scores. Priors normalise by
+// the summed class masses, not the point count: for undecayed trees the
+// two are the same integral float64 value (digit-identical), while for
+// decayed trees only the mass sum keeps shard-combined scores on one
+// scale.
 func (q *MultiQuery) scores() []float64 {
-	total := q.t.size
+	var total float64
+	for _, c := range q.t.counts {
+		total += c
+	}
 	out := make([]float64, len(q.t.labels))
 	for c := range out {
-		if q.t.counts[c] <= 0 || q.accs[c] <= 0 {
+		if q.t.counts[c] <= 0 || q.accs[c] <= 0 || total <= 0 {
 			out[c] = math.Inf(-1)
 			continue
 		}
-		logPrior := math.Log(q.t.counts[c] / float64(total))
+		logPrior := math.Log(q.t.counts[c] / total)
 		out[c] = logPrior + q.shifts[c] + math.Log(q.accs[c])
 	}
 	return out
@@ -700,8 +761,19 @@ func (t *MultiTree) Validate() error {
 	for _, c := range t.counts {
 		total += c
 	}
-	if int(total) != t.size {
-		return fmt.Errorf("core: class counts sum %v != size %d", total, t.size)
+	if !t.decay.Enabled() {
+		if int(total) != t.size {
+			return fmt.Errorf("core: class counts sum %v != size %d", total, t.size)
+		}
+		return nil
+	}
+	// Decayed masses are fractional: check them against a fresh root
+	// summary instead of the point count.
+	root := t.summarize(t.root)
+	for c := range t.counts {
+		if math.Abs(t.counts[c]-root.CFs[c].N) > tol*(1+math.Abs(root.CFs[c].N)) {
+			return fmt.Errorf("core: stale decayed count %v for class %d (root has %v)", t.counts[c], t.labels[c], root.CFs[c].N)
+		}
 	}
 	return nil
 }

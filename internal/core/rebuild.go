@@ -23,6 +23,33 @@ func RebuildLeaf(points [][]float64) *Node {
 	return &Node{leaf: true, points: points}
 }
 
+// RebuildLeafWeighted is RebuildLeaf for decayed leaves: weights are
+// the per-observation decayed masses, parallel to points (nil means
+// unit weights). Both slices are retained, not copied.
+func RebuildLeafWeighted(points [][]float64, weights []float64) (*Node, error) {
+	if err := validateWeights(weights, len(points)); err != nil {
+		return nil, err
+	}
+	return &Node{leaf: true, points: points, weights: weights}, nil
+}
+
+// validateWeights checks a decoded leaf weight vector: parallel to the
+// points and strictly positive finite masses.
+func validateWeights(weights []float64, points int) error {
+	if weights == nil {
+		return nil
+	}
+	if len(weights) != points {
+		return fmt.Errorf("core: %d weights for %d observations", len(weights), points)
+	}
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return fmt.Errorf("core: invalid observation weight %v at %d", w, i)
+		}
+	}
+	return nil
+}
+
 // RebuildInner returns an inner node owning the given entries. The slice
 // is retained, not copied; callers hand over ownership.
 func RebuildInner(entries []Entry) *Node {
@@ -66,6 +93,15 @@ func RebuildTree(cfg Config, root *Node, size int, balanced bool) (*Tree, error)
 // observations. The slice is retained, not copied.
 func RebuildMultiLeaf(points []LabeledPoint) *MultiNode {
 	return &MultiNode{leaf: true, points: points}
+}
+
+// RebuildMultiLeafWeighted is RebuildMultiLeaf for decayed leaves (see
+// RebuildLeafWeighted).
+func RebuildMultiLeafWeighted(points []LabeledPoint, weights []float64) (*MultiNode, error) {
+	if err := validateWeights(weights, len(points)); err != nil {
+		return nil, err
+	}
+	return &MultiNode{leaf: true, points: points, weights: weights}, nil
 }
 
 // RebuildMultiInner returns a multi-class inner node owning the given
@@ -117,11 +153,14 @@ func RebuildMultiTree(cfg Config, mopts MultiOptions, labels []int, root *MultiN
 		}
 		total += c
 	}
-	t.size = int(total)
 	seen := 0
+	weighted := false
 	var walk func(n *MultiNode) error
 	walk = func(n *MultiNode) error {
 		if n.leaf {
+			if n.weights != nil {
+				weighted = true
+			}
 			for _, p := range n.points {
 				if len(p.X) != cfg.Dim {
 					return fmt.Errorf("core: rebuild point dim %d != tree dim %d", len(p.X), cfg.Dim)
@@ -151,8 +190,23 @@ func RebuildMultiTree(cfg Config, mopts MultiOptions, labels []int, root *MultiN
 	if err := walk(root); err != nil {
 		return nil, err
 	}
-	if seen != t.size {
-		return nil, fmt.Errorf("core: rebuild counts sum %d but tree holds %d observations", t.size, seen)
+	t.size = seen
+	if !weighted {
+		// Undecayed trees: class counts are integral and must equal the
+		// stored population exactly.
+		if int(total) != seen {
+			return nil, fmt.Errorf("core: rebuild counts sum %v but tree holds %d observations", total, seen)
+		}
+		return t, nil
+	}
+	// Decayed trees: the stored per-class masses must agree with the
+	// bottom-up sum of the leaf weights (the counts stay as stored, so
+	// a reloaded model scores digit-identically).
+	sum := t.summarize(root)
+	for c := range counts {
+		if math.Abs(counts[c]-sum.CFs[c].N) > 1e-6*(1+math.Abs(sum.CFs[c].N)) {
+			return nil, fmt.Errorf("core: rebuild class %d mass %v but tree holds %v", labels[c], counts[c], sum.CFs[c].N)
+		}
 	}
 	return t, nil
 }

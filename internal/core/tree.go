@@ -17,6 +17,12 @@ type Node struct {
 	leaf    bool
 	entries []Entry     // inner nodes
 	points  [][]float64 // leaf nodes
+	// weights are the per-observation decayed weights of a leaf, parallel
+	// to points. nil means every observation has weight 1 exactly — the
+	// only state an undecayed tree ever has, keeping the λ = 0 paths
+	// digit-identical. The vector is materialised lazily by the first
+	// non-unit insert weight or maintenance sweep (see decay.go).
+	weights []float64
 }
 
 // Entry is a Bayes tree node entry (Definition 1): the minimum bounding
@@ -63,6 +69,11 @@ func (n *Node) Entries() []Entry { return n.entries }
 // The returned slice must not be modified.
 func (n *Node) Points() [][]float64 { return n.points }
 
+// Weights returns the per-observation decayed weights of a leaf,
+// parallel to Points; nil means every observation weighs 1. The
+// returned slice must not be modified.
+func (n *Node) Weights() []float64 { return n.weights }
+
 // Tree is a Bayes tree over one data population (the classifier builds one
 // per class, Section 2.2; MultiTree is the single-tree variant). It is not
 // safe for concurrent mutation.
@@ -75,8 +86,15 @@ type Tree struct {
 	balanced bool
 	// queryState caches the per-tree constants every cursor needs (root
 	// summary, total count, bandwidths). It is built on first use, shared
-	// by concurrent read-only queries and invalidated by Insert.
+	// by concurrent read-only queries and invalidated by Insert,
+	// AdvanceEpoch and DecaySweep.
 	queryState atomic.Pointer[Cursorable]
+	// decay configures exponential forgetting (zero value = off); epoch
+	// is the current logical time and refEpoch the epoch the stored
+	// weights are valued at. See decay.go.
+	decay    DecayOptions
+	epoch    int64
+	refEpoch int64
 }
 
 // NewTree returns an empty Bayes tree.
@@ -161,9 +179,16 @@ func (t *Tree) summarize(n *Node) Entry {
 	rect := mbr.Empty(t.cfg.Dim)
 	cf := stats.NewCF(t.cfg.Dim)
 	if n.leaf {
-		for _, p := range n.points {
-			rect.ExtendPoint(p)
-			cf.Add(p)
+		if n.weights == nil {
+			for _, p := range n.points {
+				rect.ExtendPoint(p)
+				cf.Add(p)
+			}
+		} else {
+			for i, p := range n.points {
+				rect.ExtendPoint(p)
+				cf.AddWeighted(p, n.weights[i])
+			}
 		}
 	} else {
 		for i := range n.entries {
@@ -192,7 +217,7 @@ func (t *Tree) Insert(x []float64) error {
 	p := make([]float64, len(x))
 	copy(p, x)
 	reinserted := make(map[int]bool)
-	t.insertPoint(p, reinserted)
+	t.insertPointW(p, t.insertWeight(), reinserted)
 	t.size++
 	t.queryState.Store(nil) // cached root summary and bandwidths are stale
 	return nil
@@ -212,12 +237,32 @@ func height(n *Node) int {
 	return best + 1
 }
 
-// insertPoint inserts p at leaf level.
-func (t *Tree) insertPoint(p []float64, reinserted map[int]bool) {
+// insertPointW inserts p at leaf level with the given weight (1 for
+// undecayed trees; the amplified insert weight or a reinserted
+// observation's decayed weight otherwise).
+func (t *Tree) insertPointW(p []float64, w float64, reinserted map[int]bool) {
 	path := t.choosePath(p)
 	leaf := path[len(path)-1]
-	leaf.points = append(leaf.points, p)
+	leaf.appendPoint(p, w)
 	t.fixOverflow(path, reinserted)
+}
+
+// appendPoint adds one observation with the given weight, materialising
+// the per-point weight vector only when a non-unit weight first appears
+// so undecayed leaves stay weight-free.
+func (n *Node) appendPoint(p []float64, w float64) {
+	n.points = append(n.points, p)
+	if n.weights != nil {
+		n.weights = append(n.weights, w)
+		return
+	}
+	if w != 1 {
+		n.weights = make([]float64, len(n.points))
+		for i := range n.weights {
+			n.weights[i] = 1
+		}
+		n.weights[len(n.points)-1] = w
+	}
 }
 
 // insertSubtree reinserts a whole subtree entry at the level where nodes
@@ -241,9 +286,10 @@ func (t *Tree) insertSubtree(e Entry, childHeight int, reinserted map[int]bool) 
 	if n.leaf {
 		// Branch too short for the subtree: dissolve it into points.
 		var points [][]float64
-		collectPoints(e.Child, &points)
-		for _, p := range points {
-			t.insertPoint(p, reinserted)
+		var ws []float64
+		collectWeightedPoints(e.Child, &points, &ws)
+		for k, p := range points {
+			t.insertPointW(p, ws[k], reinserted)
 		}
 		return
 	}
@@ -343,10 +389,14 @@ func (t *Tree) fixOverflow(path []*Node, reinserted map[int]bool) {
 		if i > 0 && t.cfg.ForcedReinsert && canReinsert && !reinserted[level] {
 			reinserted[level] = true
 			if n.leaf {
-				removed := t.pickReinsertPoints(n)
+				removed, removedW := t.pickReinsertPoints(n)
 				t.refreshPath(path[:i+1])
-				for _, p := range removed {
-					t.insertPoint(p, reinserted)
+				for k, p := range removed {
+					w := 1.0
+					if removedW != nil {
+						w = removedW[k]
+					}
+					t.insertPointW(p, w, reinserted)
 				}
 			} else {
 				removed := t.pickReinsertEntries(n)
@@ -389,8 +439,10 @@ func (t *Tree) refreshPath(path []*Node) {
 	}
 }
 
-// pickReinsertPoints removes the points farthest from the leaf centroid.
-func (t *Tree) pickReinsertPoints(n *Node) [][]float64 {
+// pickReinsertPoints removes the points farthest from the leaf
+// centroid, returning them with their weights (nil weights when the
+// leaf is unweighted).
+func (t *Tree) pickReinsertPoints(n *Node) ([][]float64, []float64) {
 	p := int(0.3 * float64(t.cfg.MaxLeaf))
 	if t.cfg.ReinsertFraction > 0 {
 		p = int(t.cfg.ReinsertFraction * float64(t.cfg.MaxLeaf))
@@ -403,15 +455,27 @@ func (t *Tree) pickReinsertPoints(n *Node) [][]float64 {
 	idx := sortedByDistDesc(len(n.points), func(i int) []float64 { return n.points[i] }, center)
 	removed := make([][]float64, 0, p)
 	keep := make([][]float64, 0, len(n.points)-p)
+	var removedW, keepW []float64
+	if n.weights != nil {
+		removedW = make([]float64, 0, p)
+		keepW = make([]float64, 0, len(n.points)-p)
+	}
 	for rank, i := range idx {
 		if rank < p {
 			removed = append(removed, n.points[i])
+			if n.weights != nil {
+				removedW = append(removedW, n.weights[i])
+			}
 		} else {
 			keep = append(keep, n.points[i])
+			if n.weights != nil {
+				keepW = append(keepW, n.weights[i])
+			}
 		}
 	}
 	n.points = keep
-	return removed
+	n.weights = keepW
+	return removed, removedW
 }
 
 // pickReinsertEntries removes the entries whose centres are farthest from
@@ -465,10 +529,17 @@ func sortedByDistDesc(n int, at func(int) []float64, center []float64) []int {
 }
 
 // splitNode performs the R* topological split on either node kind.
+// Weighted leaves split by index so the weight vector follows its
+// points; unweighted leaves keep the direct (λ = 0 digit-identical)
+// path.
 func (t *Tree) splitNode(n *Node) (left, right *Node) {
 	if n.leaf {
-		l, r := splitPoints(n.points, t.cfg.Dim, t.cfg.MinLeaf)
-		return &Node{leaf: true, points: l}, &Node{leaf: true, points: r}
+		if n.weights == nil {
+			l, r := splitPoints(n.points, t.cfg.Dim, t.cfg.MinLeaf)
+			return &Node{leaf: true, points: l}, &Node{leaf: true, points: r}
+		}
+		li, ri := splitIndices(len(n.points), func(i int) mbr.Rect { return mbr.Point(n.points[i]) }, t.cfg.Dim, t.cfg.MinLeaf)
+		return weightedLeaf(n.points, n.weights, li), weightedLeaf(n.points, n.weights, ri)
 	}
 	l, r := splitEntries(n.entries, t.cfg.Dim, t.cfg.MinFanout)
 	return &Node{entries: l}, &Node{entries: r}

@@ -1,0 +1,246 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bayestree/internal/core"
+)
+
+// buildDecayedMultiTree constructs a multi-class tree that has lived
+// through the full decay lifecycle: old mass inserted, epochs advanced,
+// amplified new mass inserted, a pruning sweep, and one more epoch
+// advanced but not yet swept — so the snapshot must carry non-trivial
+// weights AND a non-zero outstanding epoch delta.
+func buildDecayedMultiTree(t *testing.T) *core.MultiTree {
+	t.Helper()
+	cfg := core.Config{Dim: 3, MinFanout: 2, MaxFanout: 5, MinLeaf: 2, MaxLeaf: 6,
+		Kernel: core.DefaultConfig(3).Kernel}
+	mt, err := core.NewMultiTree(cfg, []int{0, 1, 2}, core.MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.EnableDecay(core.DecayOptions{Lambda: 0.5, MinWeight: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	insert := func(n int, shift float64) {
+		for i := 0; i < n; i++ {
+			x := []float64{shift + 0.2*rng.Float64(), rng.Float64(), rng.Float64()}
+			if err := mt.Insert(x, i%3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	insert(80, 0.0)
+	mt.AdvanceEpoch(3)
+	insert(60, 0.6)
+	mt.DecaySweep()
+	mt.AdvanceEpoch(1) // outstanding, un-swept decay
+	insert(20, 0.8)
+	return mt
+}
+
+// probeScores fully refines a query per probe and returns the raw
+// per-class scores — the digit-identity oracle.
+func probeScores(t *testing.T, mt *core.MultiTree, probes [][]float64) [][]float64 {
+	t.Helper()
+	out := make([][]float64, len(probes))
+	for i, x := range probes {
+		q, err := mt.NewQuery(x, core.ClassifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q.Step() {
+		}
+		out[i] = q.Scores()
+	}
+	return out
+}
+
+// A decayed model must reload digit-identically: same decay state, same
+// effective weight, and bit-equal query scores.
+func TestDecayedMultiTreeRoundTripDigitIdentical(t *testing.T) {
+	mt := buildDecayedMultiTree(t)
+	var buf bytes.Buffer
+	if err := EncodeMultiTree(&buf, mt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMultiTree(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantOpts, wantEpoch, wantRef := mt.DecayState()
+	gotOpts, gotEpoch, gotRef := got.DecayState()
+	if gotOpts != wantOpts || gotEpoch != wantEpoch || gotRef != wantRef {
+		t.Fatalf("decay state %+v e%d r%d, want %+v e%d r%d",
+			gotOpts, gotEpoch, gotRef, wantOpts, wantEpoch, wantRef)
+	}
+	if got.Weight() != mt.Weight() {
+		t.Fatalf("weight %v, want %v", got.Weight(), mt.Weight())
+	}
+	if got.Len() != mt.Len() {
+		t.Fatalf("size %d, want %d", got.Len(), mt.Len())
+	}
+
+	rng := rand.New(rand.NewSource(12))
+	probes := make([][]float64, 40)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	want := probeScores(t, mt, probes)
+	have := probeScores(t, got, probes)
+	for i := range probes {
+		for c := range want[i] {
+			if want[i][c] != have[i][c] {
+				t.Fatalf("probe %d class %d: score %v != %v (not digit-identical)",
+					i, c, have[i][c], want[i][c])
+			}
+		}
+	}
+
+	// The reloaded model keeps decaying: another epoch + sweep must
+	// agree with the original put through the same motions.
+	mt.AdvanceEpoch(2)
+	mt.DecaySweep()
+	got.AdvanceEpoch(2)
+	got.DecaySweep()
+	if got.Weight() != mt.Weight() || got.Len() != mt.Len() {
+		t.Fatalf("post-reload sweep diverged: weight %v/%v size %d/%d",
+			got.Weight(), mt.Weight(), got.Len(), mt.Len())
+	}
+}
+
+// A decayed per-class forest snapshot round-trips digit-identically
+// through the classifier encoder, including priors from decayed masses.
+func TestDecayedClassifierRoundTripDigitIdentical(t *testing.T) {
+	cfg := core.Config{Dim: 2, MinFanout: 2, MaxFanout: 4, MinLeaf: 2, MaxLeaf: 5,
+		Kernel: core.DefaultConfig(2).Kernel}
+	trees := make([]*core.Tree, 2)
+	rng := rand.New(rand.NewSource(13))
+	for c := range trees {
+		tr, err := core.NewTree(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.EnableDecay(core.DecayOptions{Lambda: 1, MinWeight: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := tr.Insert([]float64{float64(c)*0.5 + 0.3*rng.Float64(), rng.Float64()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.AdvanceEpoch(2)
+		for i := 0; i < 20+10*c; i++ {
+			if err := tr.Insert([]float64{float64(c)*0.5 + 0.3*rng.Float64(), rng.Float64()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.DecaySweep()
+		tr.AdvanceEpoch(1)
+		trees[c] = tr
+	}
+	clf, err := core.NewClassifier([]int{0, 1}, trees, core.ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeClassifier(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeClassifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		qa, qb := clf.NewQuery(x), got.NewQuery(x)
+		for qa.Step() && qb.Step() {
+		}
+		pa, pb := qa.Posteriors(), qb.Posteriors()
+		for c := range pa {
+			if pa[c] != pb[c] {
+				t.Fatalf("probe %d class %d: posterior %v != %v", i, c, pb[c], pa[c])
+			}
+		}
+		qa.Close()
+		qb.Close()
+	}
+}
+
+// Version-1 snapshots (written before the decay format) must keep
+// decoding: same bytes a v1 build produced, loaded as an undecayed
+// model answering digit-identically.
+func TestVersion1SnapshotStillDecodes(t *testing.T) {
+	cfg := core.Config{Dim: 2, MinFanout: 2, MaxFanout: 4, MinLeaf: 2, MaxLeaf: 5,
+		Kernel: core.DefaultConfig(2).Kernel}
+	mt, err := core.NewMultiTree(cfg, []int{0, 1}, core.MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 70; i++ {
+		if err := mt.Insert([]float64{rng.Float64(), rng.Float64()}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Write the exact v1 byte layout (no decay block, no weight flags).
+	e := newEncoderVersion(kindMultiTree, 1)
+	e.multiTree(mt)
+	var buf bytes.Buffer
+	if err := e.flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := DecodeMultiTree(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer decodes: %v", err)
+	}
+	if opts, epoch, ref := got.DecayState(); opts.Enabled() || epoch != 0 || ref != 0 {
+		t.Fatalf("v1 snapshot decoded with decay state %+v e%d r%d", opts, epoch, ref)
+	}
+	probes := make([][]float64, 25)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	want := probeScores(t, mt, probes)
+	have := probeScores(t, got, probes)
+	for i := range probes {
+		for c := range want[i] {
+			if want[i][c] != have[i][c] {
+				t.Fatalf("probe %d class %d: v1 reload not digit-identical (%v != %v)",
+					i, c, have[i][c], want[i][c])
+			}
+		}
+	}
+
+	// The v1 set form decodes too (what a pre-decay serveclass wrote).
+	es := newEncoderVersion(kindMultiSet, 1)
+	es.u64(1)
+	es.multiTree(mt)
+	var setBuf bytes.Buffer
+	if err := es.flush(&setBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMultiTrees(bytes.NewReader(setBuf.Bytes())); err != nil {
+		t.Fatalf("v1 sharded-set snapshot no longer decodes: %v", err)
+	}
+}
+
+// Corrupt leaf weights (non-positive) must be rejected at rebuild, not
+// silently loaded.
+func TestCorruptLeafWeightRejected(t *testing.T) {
+	if _, err := core.RebuildLeafWeighted([][]float64{{1, 2}}, []float64{-0.5}); err == nil {
+		t.Fatal("negative leaf weight accepted")
+	}
+	if _, err := core.RebuildLeafWeighted([][]float64{{1, 2}}, []float64{1, 1}); err == nil {
+		t.Fatal("mismatched weight vector length accepted")
+	}
+	if _, err := core.RebuildMultiLeafWeighted([]core.LabeledPoint{{X: []float64{1}, Label: 0}}, []float64{0}); err == nil {
+		t.Fatal("zero multi leaf weight accepted")
+	}
+}

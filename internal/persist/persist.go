@@ -27,6 +27,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"bayestree/internal/core"
 	"bayestree/internal/kernels"
@@ -34,10 +35,15 @@ import (
 	"bayestree/internal/stats"
 )
 
-// Version is the current snapshot format version. Decoders accept
-// exactly this version: the format has no compatibility shims yet, and
-// refusing loudly beats misreading silently.
-const Version = 1
+// Version is the current snapshot format version. Version 2 added the
+// decay state (λ, pruning floor, epoch, reference epoch) per tree and
+// optional per-observation leaf weight vectors. Decoders accept any
+// version in [MinVersion, Version] — older snapshots load as undecayed
+// models — and refuse newer ones loudly.
+const Version = 2
+
+// MinVersion is the oldest snapshot format this build still decodes.
+const MinVersion = 1
 
 var magic = [4]byte{'B', 'T', 'S', 'N'}
 
@@ -193,24 +199,48 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("persist: write %s: %w", path, err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		// Best-effort directory fsync; some filesystems refuse it.
-		d.Sync()
+	// The directory fsync is what makes the rename itself durable: a
+	// snapshot reported durable when this fails could vanish on crash,
+	// so errors propagate. Filesystems that categorically refuse to
+	// fsync directories (EINVAL/ENOTSUP) are the one excuse — there is
+	// nothing further a caller could do.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: sync dir %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil && !unsupportedSyncError(err) {
 		d.Close()
+		return fmt.Errorf("persist: sync dir %s: %w", dir, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("persist: sync dir %s: %w", dir, err)
 	}
 	return nil
+}
+
+// unsupportedSyncError reports whether a directory fsync failed only
+// because the filesystem does not support the operation.
+func unsupportedSyncError(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
 }
 
 // ---------------------------------------------------------------------
 // encoder
 
 type encoder struct {
-	buf bytes.Buffer
-	err error
+	buf     bytes.Buffer
+	err     error
+	version uint32
 }
 
 func newEncoder(kind byte) *encoder {
-	e := &encoder{}
+	return newEncoderVersion(kind, Version)
+}
+
+// newEncoderVersion writes an older format version — kept for the
+// compatibility tests that prove current decoders still read v1 files.
+func newEncoderVersion(kind byte, version uint32) *encoder {
+	e := &encoder{version: version}
 	e.u8(kind)
 	return e
 }
@@ -266,8 +296,31 @@ func (e *encoder) rect(r mbr.Rect) {
 	e.floats(r.Hi)
 }
 
+// decayState writes the v2 decay block: options, current epoch and the
+// reference epoch the stored weights are valued at.
+func (e *encoder) decayState(opts core.DecayOptions, epoch, ref int64) {
+	if e.version < 2 {
+		return
+	}
+	e.f64(opts.Lambda)
+	e.f64(opts.MinWeight)
+	e.i64(epoch)
+	e.i64(ref)
+}
+
+// leafWeights writes the optional per-observation weight vector of a
+// decayed leaf (nil = unit weights, stored as a single absence flag).
+func (e *encoder) leafWeights(ws []float64) {
+	if e.version < 2 {
+		return
+	}
+	e.boolv(ws != nil)
+	e.floats(ws)
+}
+
 func (e *encoder) tree(t *core.Tree) {
 	e.config(t.Config())
+	e.decayState(t.DecayState())
 	e.u64(uint64(t.Len()))
 	e.boolv(t.Balanced())
 	e.node(t.Root())
@@ -281,6 +334,7 @@ func (e *encoder) node(n *core.Node) {
 		for _, p := range pts {
 			e.floats(p)
 		}
+		e.leafWeights(n.Weights())
 		return
 	}
 	e.u8(1)
@@ -295,6 +349,7 @@ func (e *encoder) node(n *core.Node) {
 
 func (e *encoder) multiTree(t *core.MultiTree) {
 	e.config(t.Config())
+	e.decayState(t.DecayState())
 	mopts := t.Options()
 	e.boolv(mopts.PooledVariance)
 	e.boolv(mopts.EntropyPriority)
@@ -316,6 +371,7 @@ func (e *encoder) multiNode(n *core.MultiNode, numClasses int) {
 			e.i64(int64(pts[i].Label))
 			e.floats(pts[i].X)
 		}
+		e.leafWeights(n.Weights())
 		return
 	}
 	e.u8(1)
@@ -340,7 +396,7 @@ func (e *encoder) flush(w io.Writer) error {
 	payload := e.buf.Bytes()
 	var head [16]byte
 	copy(head[:4], magic[:])
-	binary.LittleEndian.PutUint32(head[4:8], Version)
+	binary.LittleEndian.PutUint32(head[4:8], e.version)
 	binary.LittleEndian.PutUint64(head[8:16], uint64(len(payload)))
 	if _, err := w.Write(head[:]); err != nil {
 		return fmt.Errorf("persist: write header: %w", err)
@@ -360,8 +416,9 @@ func (e *encoder) flush(w io.Writer) error {
 // decoder
 
 type decoder struct {
-	b   *bytes.Reader
-	err error
+	b       *bytes.Reader
+	err     error
+	version uint32
 }
 
 // newDecoder reads and verifies the frame (magic, version, length,
@@ -375,8 +432,9 @@ func newDecoder(r io.Reader, wantKind byte) (*decoder, error) {
 	if !bytes.Equal(head[:4], magic[:]) {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(head[4:8]); v != Version {
-		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersion, v, Version)
+	v := binary.LittleEndian.Uint32(head[4:8])
+	if v < MinVersion || v > Version {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d..%d", ErrVersion, v, MinVersion, Version)
 	}
 	n := binary.LittleEndian.Uint64(head[8:16])
 	const maxPayload = 1 << 36 // 64 GiB: reject absurd declared lengths before allocating
@@ -394,7 +452,7 @@ func newDecoder(r io.Reader, wantKind byte) (*decoder, error) {
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sum[:]) {
 		return nil, ErrChecksum
 	}
-	d := &decoder{b: bytes.NewReader(payload)}
+	d := &decoder{b: bytes.NewReader(payload), version: v}
 	if kind := d.u8(); d.err == nil && kind != wantKind {
 		return nil, fmt.Errorf("persist: snapshot kind %d, want %d", kind, wantKind)
 	}
@@ -505,8 +563,30 @@ func (d *decoder) rect(dim int) mbr.Rect {
 	return mbr.Rect{Lo: d.floats(dim), Hi: d.floats(dim)}
 }
 
+// decayState reads the v2 decay block; v1 snapshots yield the zero
+// (disabled) state.
+func (d *decoder) decayState() (opts core.DecayOptions, epoch, ref int64) {
+	if d.version < 2 {
+		return
+	}
+	opts.Lambda = d.f64()
+	opts.MinWeight = d.f64()
+	epoch = d.i64()
+	ref = d.i64()
+	return
+}
+
+// leafWeights reads the optional weight vector of a decayed leaf.
+func (d *decoder) leafWeights(points int) []float64 {
+	if d.version < 2 || !d.boolv() {
+		return nil
+	}
+	return d.floats(points)
+}
+
 func (d *decoder) tree() *core.Tree {
 	cfg := d.config()
+	dopts, epoch, ref := d.decayState()
 	size := int(d.u64())
 	balanced := d.boolv()
 	if d.err != nil {
@@ -518,6 +598,10 @@ func (d *decoder) tree() *core.Tree {
 	}
 	t, err := core.RebuildTree(cfg, root, size, balanced)
 	if err != nil {
+		d.fail("rebuild tree: %v", err)
+		return nil
+	}
+	if err := t.RestoreDecayState(dopts, epoch, ref); err != nil {
 		d.fail("rebuild tree: %v", err)
 		return nil
 	}
@@ -536,7 +620,16 @@ func (d *decoder) node(dim int) *core.Node {
 		for i := 0; i < n; i++ {
 			pts = append(pts, d.floats(dim))
 		}
-		return core.RebuildLeaf(pts)
+		ws := d.leafWeights(n)
+		if d.err != nil {
+			return nil
+		}
+		leaf, err := core.RebuildLeafWeighted(pts, ws)
+		if err != nil {
+			d.fail("rebuild leaf: %v", err)
+			return nil
+		}
+		return leaf
 	case 1:
 		n := d.count(8)
 		ents := make([]core.Entry, 0, n)
@@ -558,6 +651,7 @@ func (d *decoder) node(dim int) *core.Node {
 
 func (d *decoder) multiTree() *core.MultiTree {
 	cfg := d.config()
+	dopts, epoch, ref := d.decayState()
 	var mopts core.MultiOptions
 	mopts.PooledVariance = d.boolv()
 	mopts.EntropyPriority = d.boolv()
@@ -579,6 +673,10 @@ func (d *decoder) multiTree() *core.MultiTree {
 		d.fail("rebuild multi tree: %v", err)
 		return nil
 	}
+	if err := t.RestoreDecayState(dopts, epoch, ref); err != nil {
+		d.fail("rebuild multi tree: %v", err)
+		return nil
+	}
 	return t
 }
 
@@ -595,7 +693,16 @@ func (d *decoder) multiNode(dim, numClasses int) *core.MultiNode {
 			label := int(d.i64())
 			pts = append(pts, core.LabeledPoint{X: d.floats(dim), Label: label})
 		}
-		return core.RebuildMultiLeaf(pts)
+		ws := d.leafWeights(n)
+		if d.err != nil {
+			return nil
+		}
+		leaf, err := core.RebuildMultiLeafWeighted(pts, ws)
+		if err != nil {
+			d.fail("rebuild leaf: %v", err)
+			return nil
+		}
+		return leaf
 	case 1:
 		n := d.count(8)
 		ents := make([]core.MultiEntry, 0, n)

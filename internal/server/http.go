@@ -101,10 +101,25 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// enableFullDuplex opts the connection out of the HTTP/1 server's
+// default of consuming (closing) the unread request body as soon as
+// the handler writes response bytes. The NDJSON endpoints interleave
+// reading request lines with writing response lines on one connection;
+// without full duplex, any body larger than the server's first read
+// would be cut off mid-stream with "invalid Read on closed Body".
+// HTTP/2 is always full duplex; the controller errors there and the
+// error is safely ignored.
+func enableFullDuplex(w http.ResponseWriter) {
+	if rc := http.NewResponseController(w); rc != nil {
+		rc.EnableFullDuplex()
+	}
+}
+
 // streamClassify serves the NDJSON batch form: windows of request lines
 // are classified by a worker pool (each item admitted individually),
 // and response lines are written in input order and flushed per window.
 func (s *Server) streamClassify(w http.ResponseWriter, r *http.Request) {
+	enableFullDuplex(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -207,6 +222,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 // overhead for bulk ingest while classifications keep flowing on other
 // connections.
 func (s *Server) streamInsert(w http.ResponseWriter, r *http.Request) {
+	enableFullDuplex(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)

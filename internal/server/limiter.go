@@ -50,6 +50,12 @@ func (b *tokenBucket) take(want int) int {
 		}
 	}
 	b.last = now
+	// Whole tokens are granted against the balance and only the grant
+	// is subtracted: the balance never goes negative, so int() is the
+	// floor and the fractional remainder stays in the bucket to
+	// complete the next whole token. Long-run granted throughput
+	// therefore tracks rate·T (pinned by the property test) — no
+	// fraction is ever stranded per request.
 	granted := want
 	if float64(granted) > b.tokens {
 		granted = int(b.tokens)

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Long-run granted throughput must track the configured rate: many
+// small concurrent-style requests with fractional refills per request
+// must not strand the fractional remainder, or granted work falls
+// below rate·T. Property: over simulated time T starting from an empty
+// bucket, total grants lie within one burst of rate·T.
+func TestTokenBucketLongRunGrantsMatchRate(t *testing.T) {
+	const (
+		rate  = 7.3 // deliberately non-integral
+		burst = 10.0
+	)
+	for seed := int64(0); seed < 3; seed++ {
+		b := newTokenBucket(rate, burst)
+		cur := time.Unix(0, 0)
+		b.now = func() time.Time { return cur }
+		b.last = cur
+		b.tokens = 0 // start empty so the bound is tight
+
+		rng := rand.New(rand.NewSource(seed))
+		granted := 0
+		var elapsed time.Duration
+		for i := 0; i < 200000; i++ {
+			// 1–20 ms between small requests: each refill is a fraction
+			// of a token (7.3/s · ≤20ms ≤ 0.146 tokens), the regime
+			// where integer truncation would strand everything.
+			step := time.Duration(1+rng.Intn(20)) * time.Millisecond
+			cur = cur.Add(step)
+			elapsed += step
+			granted += b.take(1 + rng.Intn(4))
+		}
+		want := rate * elapsed.Seconds()
+		if float64(granted) > want+burst+1 {
+			t.Fatalf("seed %d: granted %d over %.1fs exceeds rate·T=%.1f+burst", seed, granted, elapsed.Seconds(), want)
+		}
+		if float64(granted) < want-burst-1 {
+			t.Fatalf("seed %d: granted %d over %.1fs, want ≈ rate·T = %.1f — fractional tokens are being stranded",
+				seed, granted, elapsed.Seconds(), want)
+		}
+	}
+}
+
+// Grants must stay whole-token while the fractional balance carries
+// over exactly: granting from a bucket of 1.9 tokens leaves 0.9 for
+// the next request rather than rounding it away.
+func TestTokenBucketKeepsFractionalBalance(t *testing.T) {
+	b := newTokenBucket(1, 100)
+	cur := time.Unix(0, 0)
+	b.now = func() time.Time { return cur }
+	b.last = cur
+	b.tokens = 1.9
+
+	if got := b.take(5); got != 1 {
+		t.Fatalf("take(5) from 1.9 tokens granted %d, want 1", got)
+	}
+	if b.tokens < 0.9-1e-12 || b.tokens > 0.9+1e-12 {
+		t.Fatalf("fractional balance %v after grant, want 0.9", b.tokens)
+	}
+	// ~0.1 tokens of refill completes the next whole token (a hair over
+	// 100ms absorbs binary rounding of 1.9 − 1 + 0.1).
+	cur = cur.Add(101 * time.Millisecond)
+	if got := b.take(1); got != 1 {
+		t.Fatalf("take(1) after refill granted %d, want 1", got)
+	}
+}

@@ -4,6 +4,12 @@
 // aggregate refinement work track a configured node-read capacity, and
 // an HTTP surface (/classify with single and NDJSON streaming forms,
 // /insert, /stats, /healthz) plus snapshot save/load for warm starts.
+// With decay configured (Config.Decay) the server also forgets: a
+// background maintenance loop advances the decay epoch and sweeps the
+// shards — fading old mass by 2^(−λ·Δe), pruning what falls below the
+// weight floor — one short per-shard write-lock slice at a time, so a
+// long-running server stays bounded and tracks concept drift instead
+// of classifying yesterday's distribution forever.
 //
 // Sharding model: observations are hash-partitioned across shards, each
 // shard holding an independent MultiTree over its partition. Because
@@ -53,6 +59,19 @@ type Config struct {
 	// Query selects the descent strategy and priority used for every
 	// query (zero value = the paper's best: global probabilistic).
 	Query core.ClassifierOptions
+	// Decay configures exponential forgetting on every shard: Lambda is
+	// the per-epoch fade exponent (weights decay as 2^(−λ·Δe)) and
+	// MinWeight the maintenance sweep's pruning floor. The zero value
+	// keeps today's append-only behaviour. When set it overrides
+	// whatever decay options warm-started trees carried.
+	Decay core.DecayOptions
+	// DecayEvery is the wall-clock length of one decay epoch. With
+	// Decay enabled and DecayEvery > 0, New starts a background
+	// maintenance loop that advances the epoch and sweeps the shards
+	// one write lock at a time; stop it with Close. Zero leaves
+	// maintenance to explicit AdvanceDecay calls (tests or external
+	// schedulers).
+	DecayEvery time.Duration
 }
 
 // withDefaults returns the configuration with zero values resolved.
@@ -90,11 +109,22 @@ type Server struct {
 	start    time.Time
 	draining atomic.Bool
 
+	// decayOn is set when any shard forgets (via Config.Decay or a
+	// warm-started snapshot's own decay state); maintStop/maintDone
+	// bracket the background maintenance loop.
+	decayOn   bool
+	maintStop chan struct{}
+	maintDone chan struct{}
+	closeOnce sync.Once
+
 	requests       atomic.Int64
 	inserts        atomic.Int64
 	nodesRequested atomic.Int64
 	nodesGranted   atomic.Int64
 	nodesRead      atomic.Int64
+	decayEpoch     atomic.Int64
+	pointsPruned   atomic.Int64
+	subtreesPruned atomic.Int64
 }
 
 // New builds a server over pre-built per-shard trees. All shards must
@@ -132,7 +162,83 @@ func New(trees []*core.MultiTree, cfg Config) (*Server, error) {
 	if cfg.NodesPerSecond > 0 {
 		s.admit = newTokenBucket(cfg.NodesPerSecond, cfg.Burst)
 	}
+	if cfg.Decay.Enabled() {
+		for _, sh := range s.shards {
+			if err := sh.tree.EnableDecay(cfg.Decay); err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+		}
+	}
+	for _, sh := range s.shards {
+		if sh.tree.DecayConfig().Enabled() {
+			s.decayOn = true
+		}
+		if e := sh.tree.Epoch(); e > s.decayEpoch.Load() {
+			s.decayEpoch.Store(e)
+		}
+	}
+	if s.decayOn && cfg.DecayEvery > 0 {
+		s.maintStop = make(chan struct{})
+		s.maintDone = make(chan struct{})
+		go s.maintain(cfg.DecayEvery)
+	}
 	return s, nil
+}
+
+// maintain is the background maintenance loop: one decay epoch per
+// tick. Each tick takes the per-shard write locks one at a time in
+// short slices, so reads on the other shards keep flowing and reads on
+// the swept shard wait only for that shard's sweep.
+func (s *Server) maintain(every time.Duration) {
+	defer close(s.maintDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.maintStop:
+			return
+		case <-tick.C:
+			s.AdvanceDecay()
+		}
+	}
+}
+
+// AdvanceDecay advances the decay epoch by one on every shard and runs
+// the maintenance sweep — rescale, prune below the weight floor,
+// collapse underfull subtrees. It locks one shard at a time so
+// classification reads never wait on more than one shard's sweep. A
+// no-op (zero stats) when no shard decays.
+func (s *Server) AdvanceDecay() core.SweepStats {
+	var agg core.SweepStats
+	if !s.decayOn {
+		return agg
+	}
+	s.decayEpoch.Add(1)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.tree.AdvanceEpoch(1)
+		st := sh.tree.DecaySweep()
+		sh.mu.Unlock()
+		agg.PointsPruned += st.PointsPruned
+		agg.SubtreesPruned += st.SubtreesPruned
+		agg.SubtreesCollapsed += st.SubtreesCollapsed
+		agg.Reinserted += st.Reinserted
+	}
+	s.pointsPruned.Add(int64(agg.PointsPruned))
+	s.subtreesPruned.Add(int64(agg.SubtreesPruned))
+	return agg
+}
+
+// Close stops the background maintenance loop, if one is running. Safe
+// to call multiple times; the server still serves afterwards (only
+// maintenance stops).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.maintStop != nil {
+			close(s.maintStop)
+			<-s.maintDone
+		}
+	})
 }
 
 // NewEmpty builds a server of empty shards that learns purely online:
@@ -273,14 +379,21 @@ func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
 	}()
 
 	sizes := make([]int, len(s.shards))
+	weights := make([]float64, len(s.shards))
 	total := 0
+	var totalW float64
 	for i, sh := range s.shards {
 		sh.mu.RLock()
 		sizes[i] = sh.tree.Len()
+		// Effective decayed mass; exactly float64(Len) for undecayed
+		// shards, so the λ = 0 mixture weights are digit-identical to
+		// the count-based ones.
+		weights[i] = sh.tree.Weight()
 		sh.mu.RUnlock()
 		total += sizes[i]
+		totalW += weights[i]
 	}
-	if total == 0 {
+	if total == 0 || totalW <= 0 {
 		return Result{}, fmt.Errorf("server: no observations yet")
 	}
 
@@ -320,9 +433,8 @@ func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
 		}
 		read += q.NodesRead()
 		scores := q.Scores()
-		n := sh.tree.Len()
 		sh.mu.RUnlock()
-		logW := math.Log(float64(n) / float64(total))
+		logW := math.Log(weights[i] / totalW)
 		for c, sc := range scores {
 			if !math.IsInf(sc, -1) {
 				perClass[c] = append(perClass[c], logW+sc)
@@ -460,6 +572,17 @@ type Stats struct {
 	NodesGranted   int64   `json:"nodes_granted"`
 	NodesRead      int64   `json:"nodes_read"`
 	Draining       bool    `json:"draining"`
+	// Nodes is the total tree node count across shards — the bounded-
+	// memory observable of a decaying server.
+	Nodes int `json:"nodes"`
+	// Decay reports the forgetting state: whether any shard decays, the
+	// current epoch, the effective (decayed) total mass and the
+	// lifetime pruning counters of the maintenance sweeps.
+	DecayEnabled   bool    `json:"decay_enabled"`
+	DecayEpoch     int64   `json:"decay_epoch"`
+	Weight         float64 `json:"weight"`
+	PointsPruned   int64   `json:"points_pruned"`
+	SubtreesPruned int64   `json:"subtrees_pruned"`
 }
 
 // Stats returns a point-in-time summary of shard sizes and the
@@ -477,10 +600,16 @@ func (s *Server) Stats() Stats {
 		NodesGranted:   s.nodesGranted.Load(),
 		NodesRead:      s.nodesRead.Load(),
 		Draining:       s.draining.Load(),
+		DecayEnabled:   s.decayOn,
+		DecayEpoch:     s.decayEpoch.Load(),
+		PointsPruned:   s.pointsPruned.Load(),
+		SubtreesPruned: s.subtreesPruned.Load(),
 	}
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		n := sh.tree.Len()
+		st.Nodes += sh.tree.CountNodes()
+		st.Weight += sh.tree.Weight()
 		sh.mu.RUnlock()
 		st.ShardSizes = append(st.ShardSizes, n)
 		st.Observations += n

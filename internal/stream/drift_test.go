@@ -80,3 +80,97 @@ func TestOnlineLearningTracksDrift(t *testing.T) {
 		t.Errorf("adaptive post-drift accuracy %.3f too low", accA)
 	}
 }
+
+// WithDecayEvery must turn stream position into decay time: running a
+// decay-enabled classifier through RunBatch advances its epochs, keeps
+// the model bounded and tracks the drifted concept at least as well as
+// the same classifier without forgetting.
+func TestWithDecayEveryAdvancesEpochsOnStream(t *testing.T) {
+	ds, err := dataset.DriftStream(dataset.DriftSpec{
+		Name: "drift", Size: 6000, Classes: 2, Features: 3,
+		DriftDistance: 0.5, Abrupt: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const head = 1500
+	build := func(decay bool) *core.Classifier {
+		byClass := map[int][][]float64{}
+		for i := 0; i < head; i++ {
+			byClass[ds.Y[i]] = append(byClass[ds.Y[i]], ds.X[i])
+		}
+		var labels []int
+		var trees []*core.Tree
+		for y := 0; y <= 1; y++ {
+			tree, err := core.NewTree(testConfig(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range byClass[y] {
+				if err := tree.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			labels = append(labels, y)
+			trees = append(trees, tree)
+		}
+		clf, err := core.NewClassifier(labels, trees, core.ClassifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decay {
+			if err := clf.EnableDecay(core.DecayOptions{Lambda: 1, MinWeight: 0.05}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return clf
+	}
+	items := make([]Item, 0, ds.Len()-head)
+	for i := head; i < ds.Len(); i++ {
+		items = append(items, Item{X: ds.X[i], Label: ds.Y[i], Labeled: true})
+	}
+	budgeter := Budgeter{NodesPerSecond: 3000, MaxNodes: 30, MinNodes: 30}
+	tailAcc := func(res *Result) float64 {
+		correct, scored := 0, 0
+		tail := len(items) * 3 / 4
+		for i := tail; i < len(items); i++ {
+			scored++
+			if res.Predictions[i] == items[i].Label {
+				correct++
+			}
+		}
+		return float64(correct) / float64(scored)
+	}
+
+	const epochEvery = 250
+	decayClf := build(true)
+	resD, err := RunBatch(WithDecayEvery(decayClf, epochEvery), items, Constant{Interval: 0.01}, budgeter, 9, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainClf := build(false)
+	resP, err := RunBatch(plainClf, items, Constant{Interval: 0.01}, budgeter, 9, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantEpochs := int64(len(items) / epochEvery)
+	if e := decayClf.Tree(0).Epoch(); e != wantEpochs {
+		t.Errorf("decay epoch %d after %d learned objects, want %d", e, len(items), wantEpochs)
+	}
+	accD, accP := tailAcc(resD), tailAcc(resP)
+	if accD < 0.75 {
+		t.Errorf("decayed post-drift accuracy %.3f too low", accD)
+	}
+	if accD < accP-0.01 {
+		t.Errorf("forgetting hurt drift tracking: decayed %.3f vs append-only %.3f", accD, accP)
+	}
+	// Bounded memory: the decayed forest holds roughly the last few
+	// epochs, the append-only forest the full history.
+	sizeD := decayClf.Tree(0).Len() + decayClf.Tree(1).Len()
+	sizeP := plainClf.Tree(0).Len() + plainClf.Tree(1).Len()
+	if sizeD >= sizeP/2 {
+		t.Errorf("decayed forest size %d not bounded vs append-only %d", sizeD, sizeP)
+	}
+	t.Logf("post-drift tail accuracy: decayed %.3f (size %d) vs append-only %.3f (size %d)", accD, sizeD, accP, sizeP)
+}

@@ -186,6 +186,55 @@ type Engine interface {
 	Learn(x []float64, label int) error
 }
 
+// DecayAdvancer is the optional maintenance surface of an engine that
+// forgets: one call advances the model's logical decay clock by one
+// epoch and sweeps faded mass. *core.Classifier and the serving
+// subsystem's server both implement it.
+type DecayAdvancer interface {
+	AdvanceDecay() core.SweepStats
+}
+
+// WithDecayEvery adapts stream position to logical decay time: the
+// returned engine advances the underlying engine's decay epoch once
+// per n learned (labelled) observations, so a drifting stream fed
+// through RunBatch fades old concepts at a rate proportional to the
+// stream itself. Engines without decay maintenance, or n ≤ 0, pass
+// through unchanged. The wrapper is not safe for concurrent Learn
+// calls — the RunBatch contract already learns sequentially.
+func WithDecayEvery(e Engine, n int) Engine {
+	da, ok := e.(DecayAdvancer)
+	if !ok || n <= 0 {
+		return e
+	}
+	return &decayEvery{engine: e, da: da, n: n}
+}
+
+type decayEvery struct {
+	engine Engine
+	da     DecayAdvancer
+	n      int
+	count  int
+}
+
+// ClassifyBatchBudgets implements Engine by delegation.
+func (d *decayEvery) ClassifyBatchBudgets(xs [][]float64, budgets []int, workers int) ([]int, error) {
+	return d.engine.ClassifyBatchBudgets(xs, budgets, workers)
+}
+
+// Learn implements Engine, ticking the decay clock every n
+// observations.
+func (d *decayEvery) Learn(x []float64, label int) error {
+	if err := d.engine.Learn(x, label); err != nil {
+		return err
+	}
+	d.count++
+	if d.count >= d.n {
+		d.count = 0
+		d.da.AdvanceDecay()
+	}
+	return nil
+}
+
 // RunBatch is the parallel window variant of Run for high-rate serving:
 // arrival gaps and node budgets are drawn exactly as in Run, but objects
 // are processed in windows of the given size — each window is classified
