@@ -1,0 +1,190 @@
+// Command benchjson runs the serving-path benchmarks in process and
+// writes the results as JSON, so the performance trajectory of the
+// engine is machine-readable: CI runs it as a smoke step and uploads
+// BENCH_serving.json as an artifact, and successive PRs can be diffed
+// without scraping go-test output.
+//
+//	benchjson -out BENCH_serving.json
+//
+// The suite covers both engine workloads: sharded anytime
+// classification (fan-out + log-sum-exp merge) and sharded anytime
+// clustering ingest (budgeted descent, parked insertions), each at two
+// shard counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"bayestree/internal/clustree"
+	"bayestree/internal/core"
+	"bayestree/internal/server"
+)
+
+// result is one benchmark in the emitted JSON.
+type result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GoVersion  string   `json:"go_version"`
+	MaxProcs   int      `json:"gomaxprocs"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serving.json", "output path (- for stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: benchjson [flags]\n\n"+
+				"Run the serving benchmarks (classification fan-out, clustering ingest)\n"+
+				"in process and write machine-readable JSON results.\n\n"+
+				"Examples:\n"+
+				"  benchjson -out BENCH_serving.json\n"+
+				"  benchjson -out -\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unexpected arguments %v\n\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep := report{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GoVersion: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range []int{1, 4} {
+		for _, budget := range []int{10, 50} {
+			rep.Benchmarks = append(rep.Benchmarks,
+				run(fmt.Sprintf("server_classify/shards=%d/budget=%d", shards, budget),
+					benchClassify(shards, budget)))
+		}
+		rep.Benchmarks = append(rep.Benchmarks,
+			run(fmt.Sprintf("cluster_ingest/shards=%d/budget=8", shards), benchIngest(shards, 8)),
+			run(fmt.Sprintf("cluster_ingest/shards=%d/budget=1", shards), benchIngest(shards, 1)))
+	}
+	rep.Benchmarks = append(rep.Benchmarks, run("cluster_microclusters", benchMicro()))
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// run executes one benchmark function and shapes its result.
+func run(name string, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	ops := 0.0
+	if nsPerOp > 0 {
+		ops = 1e9 / nsPerOp
+	}
+	return result{
+		Name: name, N: r.N, NsPerOp: nsPerOp, OpsPerSec: ops,
+		BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// classPoint draws a labelled observation from three separated blobs,
+// matching the server package's benchmark distribution.
+func classPoint(rng *rand.Rand) ([]float64, int) {
+	label := rng.Intn(3)
+	return []float64{
+		float64(label)*3 + 0.4*rng.NormFloat64(),
+		-float64(label)*3 + 0.4*rng.NormFloat64(),
+		rng.NormFloat64(),
+	}, label
+}
+
+// benchClassify measures served classifications on a pre-filled
+// sharded server.
+func benchClassify(shards, budget int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s, err := server.NewEmpty(shards, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, server.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 2000; i++ {
+			x, label := classPoint(rng)
+			if err := s.Insert(x, label); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x, _ := classPoint(rng)
+			if _, err := s.Classify(x, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchIngest measures clustering ingest at a fixed descent budget
+// (budget 1 exercises the parked-insertion path).
+func benchIngest(shards, budget int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cs, err := server.NewCluster(clustree.DefaultConfig(2), shards, server.Config{}, server.ClusterOptions{SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			if _, err := cs.Insert(x, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchMicro measures the union micro-cluster read on a filled server.
+func benchMicro() func(b *testing.B) {
+	return func(b *testing.B) {
+		cs, err := server.NewCluster(clustree.DefaultConfig(2), 4, server.Config{}, server.ClusterOptions{SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 5000; i++ {
+			if _, err := cs.Insert([]float64{rng.Float64(), rng.Float64()}, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cs.MicroClusters(0.5)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

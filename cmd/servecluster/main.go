@@ -1,0 +1,193 @@
+// Command servecluster runs the anytime clustering server: a sharded
+// set of Section-4.2 clustering trees (ClusTrees) served over HTTP with
+// per-object anytime descent budgets, a global node-visit admission
+// controller, a pyramidal micro-cluster history and snapshot-based warm
+// starts — the clustering counterpart of serveclass, running on the
+// same engine.
+//
+// Start an empty two-dimensional server, sharded four ways, forgetting
+// with half-life 1/0.004 stream objects:
+//
+//	servecluster -dim 2 -shards 4 -lambda 0.004
+//
+// Warm-start from (and persist back to) a snapshot:
+//
+//	servecluster -snapshot clusters.btsn -addr :8081
+//
+// Endpoints: POST /cluster ({"x":[...],"budget":3}; NDJSON body for
+// bulk ingest), GET /microclusters?minw=, GET /macroclusters?eps=&minw=,
+// GET /window?t1=&t2=, GET /stats, GET /healthz. On SIGTERM or SIGINT
+// the server drains gracefully: /healthz flips to 503, in-flight
+// requests finish within the -drain timeout, and the model is
+// snapshotted back to -snapshot if set.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bayestree/internal/clustree"
+	"bayestree/internal/core"
+	"bayestree/internal/persist"
+	"bayestree/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8081", "HTTP listen address")
+		shards   = flag.Int("shards", 4, "number of model shards (ignored when warm-starting from -snapshot)")
+		snapshot = flag.String("snapshot", "", "snapshot path: warm-start from it when present, write it back on drain")
+		dim      = flag.Int("dim", 0, "observation dimensionality when no snapshot exists")
+		budget   = flag.Int("budget", 8, "default per-object descent budget when the request sets none")
+		maxB     = flag.Int("max-budget", 64, "hard cap on any object's descent budget")
+		nps      = flag.Float64("nps", 0, "admission capacity in node visits/second across all ingests (0 = unlimited)")
+		burst    = flag.Float64("burst", 0, "admission bucket capacity in node visits (0 = max(nps, max-budget))")
+		lambda   = flag.Float64("lambda", 0.004, "decay rate: a weight halves every 1/λ stream objects (0 = never forget)")
+		minW     = flag.Float64("min-weight", 0.05, "maintenance pruning floor: micro-clusters whose decayed weight falls below it are forgotten (with -lambda > 0)")
+		decayDur = flag.Duration("decay-every", time.Minute, "wall-clock interval between maintenance sweeps (with -lambda > 0)")
+		snapN    = flag.Int("snap-every", 1024, "record a pyramidal micro-cluster snapshot every N ingested objects (< 0 disables /window)")
+		alpha    = flag.Int("snap-alpha", 2, "pyramidal store base (granularity coarsens by this factor per order)")
+		snapCap  = flag.Int("snap-cap", 0, "pyramidal store per-order capacity (0 = alpha+1)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful drain timeout on SIGTERM/SIGINT")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: servecluster [flags]\n\n"+
+				"Serve the Section-4.2 anytime clustering extension over HTTP from a sharded\n"+
+				"ClusTree model. Model source: -snapshot (warm start) or -dim (empty start);\n"+
+				"one is required. Each ingested object descends with an anytime budget —\n"+
+				"under overload objects park in inner-node buffers and hitchhike leafward\n"+
+				"later, so the stream never backs up. -lambda sets exponential forgetting\n"+
+				"per stream object; the background sweep prunes micro-clusters below\n"+
+				"-min-weight every -decay-every.\n\n"+
+				"Examples:\n"+
+				"  servecluster -dim 2 -shards 4 -lambda 0.004\n"+
+				"  servecluster -snapshot clusters.btsn -nps 50000\n\n"+
+				"Endpoints:\n"+
+				"  POST /cluster        {\"x\":[...],\"budget\":3}; NDJSON body bulk-ingests\n"+
+				"  GET  /microclusters  ?minw=0.5    current micro-clusters\n"+
+				"  GET  /macroclusters  ?eps=&minw=  density-based offline clustering\n"+
+				"  GET  /window         ?t1=&t2=     historical view via pyramidal snapshots\n"+
+				"  GET  /stats          shard sizes, parked/merge/split and admission counters\n"+
+				"  GET  /healthz        200 ok, 503 while draining\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErrorf("unexpected arguments %v", flag.Args())
+	}
+
+	cfg := server.Config{
+		DefaultBudget:  *budget,
+		MaxBudget:      *maxB,
+		NodesPerSecond: *nps,
+		Burst:          *burst,
+	}
+	if *lambda > 0 {
+		// No core.DecayOptions.Validate here: its MinWeight < 1 bound is
+		// a classifier rule (fresh observations weigh 1); micro-cluster
+		// floors are decayed object counts and may usefully exceed 1.
+		if *minW < 0 {
+			usageErrorf("-min-weight must be ≥ 0, got %v", *minW)
+		}
+		if *decayDur <= 0 {
+			usageErrorf("-decay-every must be > 0 with -lambda set, got %v", *decayDur)
+		}
+		cfg.Decay = core.DecayOptions{Lambda: *lambda, MinWeight: *minW}
+		cfg.DecayEvery = *decayDur
+	} else if *lambda < 0 {
+		usageErrorf("-lambda must be ≥ 0, got %v", *lambda)
+	}
+	copts := server.ClusterOptions{
+		SnapshotAlpha:    *alpha,
+		SnapshotCapacity: *snapCap,
+		SnapshotEvery:    *snapN,
+	}
+
+	s, err := buildServer(*snapshot, *dim, *shards, cfg, copts)
+	if err != nil {
+		log.Fatalf("servecluster: %v", err)
+	}
+	log.Printf("serving clustering over %d shards on %s (dim %d, default budget %d, λ=%g, clock %d)",
+		s.NumShards(), *addr, s.Dim(), *budget, *lambda, s.Clock())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		log.Fatalf("servecluster: %v", err)
+	case sig := <-sigc:
+		log.Printf("received %v: draining (timeout %v)", sig, *drain)
+	}
+
+	// Graceful drain: fail health checks first so load balancers stop
+	// routing here, let in-flight requests finish, stop maintenance,
+	// then persist.
+	s.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("servecluster: drain: %v", err)
+	}
+	s.Close()
+	if *snapshot != "" {
+		if err := persist.WriteFileAtomic(*snapshot, s.WriteSnapshot); err != nil {
+			log.Fatalf("servecluster: %v", err)
+		}
+		log.Printf("snapshot written to %s (clock %d)", *snapshot, s.Clock())
+	}
+}
+
+// buildServer resolves the model source: an existing snapshot wins,
+// otherwise empty shards over the flag dimensionality.
+func buildServer(snapshot string, dim, shards int, cfg server.Config, copts server.ClusterOptions) (*server.ClusterServer, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err == nil {
+			defer f.Close()
+			s, err := server.ClusterFromSnapshot(f, cfg, copts)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot %s: %w", snapshot, err)
+			}
+			log.Printf("warm start from %s: %d shards, clock %d", snapshot, s.NumShards(), s.Clock())
+			return s, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+		log.Printf("snapshot %s does not exist yet; starting empty", snapshot)
+	}
+	if dim < 1 {
+		usageErrorf("need -snapshot (existing) or -dim ≥ 1 to build a model")
+	}
+	if shards < 1 {
+		usageErrorf("-shards must be ≥ 1, got %d", shards)
+	}
+	ccfg := clustree.DefaultConfig(dim)
+	if cfg.Decay.Enabled() {
+		ccfg.Lambda = cfg.Decay.Lambda
+	} else {
+		ccfg.Lambda = 0
+	}
+	return server.NewCluster(ccfg, shards, cfg, copts)
+}
+
+// usageErrorf prints the error and usage, then exits with status 2 —
+// the conventional "bad invocation" status, distinct from runtime
+// failures (1).
+func usageErrorf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "servecluster: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

@@ -27,7 +27,33 @@ func main() {
 		minw    = flag.Float64("minw", 5, "macro clustering core weight")
 		seed    = flag.Int64("seed", 42, "seed")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: streamcluster [flags]\n\n"+
+				"Demonstrate the Section-4.2 anytime clustering extension on a synthetic\n"+
+				"drifting stream: budget-starved objects park in inner-node buffers and\n"+
+				"hitchhike leafward, decayed cluster features follow the drift, and a\n"+
+				"density-based offline step reports the macro clusters — with pyramidal\n"+
+				"snapshots enabling windowed views of the stream history.\n\n"+
+				"Examples:\n"+
+				"  streamcluster\n"+
+				"  streamcluster -size 100000 -sources 6 -lambda 0.001 -burst 3\n"+
+				"  streamcluster -dims 5 -eps 0.2 -minw 10\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErrorf("unexpected arguments %v", flag.Args())
+	}
+	if *size < 1 {
+		usageErrorf("-size must be ≥ 1, got %d", *size)
+	}
+	if *dims < 1 {
+		usageErrorf("-dims must be ≥ 1, got %d", *dims)
+	}
+	if *lambda < 0 {
+		usageErrorf("-lambda must be ≥ 0, got %v", *lambda)
+	}
 
 	ds, err := dataset.DriftStream(dataset.DriftSpec{
 		Name: "stream", Size: *size, Classes: *classes, Features: *dims,
@@ -108,4 +134,13 @@ func coords(x []float64) string {
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "streamcluster: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usageErrorf prints the error and usage, then exits with status 2 —
+// the conventional "bad invocation" status, distinct from runtime
+// failures (1).
+func usageErrorf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "streamcluster: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -136,6 +136,41 @@ func (t *Tree) Parked() int { return t.parked }
 // Splits returns how many leaf splits occurred.
 func (t *Tree) Splits() int { return t.splits }
 
+// Merges returns how many arriving objects (or overflow entries) were
+// absorbed into an existing micro-cluster instead of opening a new one.
+func (t *Tree) Merges() int { return t.merges }
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// SetLambda changes the decay rate for all future decay applications.
+// Mass already faded keeps its current value; only fading from now on
+// uses the new rate. This is how a serving layer overrides the decay of
+// a warm-started tree.
+func (t *Tree) SetLambda(lambda float64) error {
+	if lambda < 0 {
+		return fmt.Errorf("clustree: Lambda must be ≥ 0, got %v", lambda)
+	}
+	t.cfg.Lambda = lambda
+	return nil
+}
+
+// CountNodes returns the number of tree nodes (inner and leaf), the
+// memory-bound observable of a decaying clustering tree.
+func (t *Tree) CountNodes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		total := 1
+		if !n.leaf {
+			for _, e := range n.entries {
+				total += walk(e.child)
+			}
+		}
+		return total
+	}
+	return walk(t.root)
+}
+
 // decay brings an entry's CFs forward to time ts.
 func (t *Tree) decay(e *entry, ts float64) {
 	if t.cfg.Lambda == 0 || ts <= e.ts {
@@ -153,11 +188,22 @@ func (t *Tree) decay(e *entry, ts float64) {
 // collected on the way) in the deepest reached entry's buffer; a budget
 // < 0 means unlimited. Timestamps must be non-decreasing.
 func (t *Tree) Insert(x []float64, ts float64, budget int) error {
+	_, err := t.InsertCounted(x, ts, budget)
+	return err
+}
+
+// InsertCounted is Insert reporting the node visits actually spent —
+// the anytime work accounting a serving layer's admission controller
+// settles against its grants. Every node examined counts: the inner
+// nodes stepped through, the node whose entry the object parked in,
+// and the leaf it merged into — so reaching the terminal node can cost
+// one visit more than the budget that bounded the descent.
+func (t *Tree) InsertCounted(x []float64, ts float64, budget int) (visited int, err error) {
 	if len(x) != t.cfg.Dim {
-		return fmt.Errorf("clustree: point dim %d != %d", len(x), t.cfg.Dim)
+		return 0, fmt.Errorf("clustree: point dim %d != %d", len(x), t.cfg.Dim)
 	}
 	if ts < t.now {
-		return fmt.Errorf("clustree: timestamp %v precedes current time %v", ts, t.now)
+		return 0, fmt.Errorf("clustree: timestamp %v precedes current time %v", ts, t.now)
 	}
 	t.now = ts
 	t.inserts++
@@ -168,11 +214,12 @@ func (t *Tree) Insert(x []float64, ts float64, budget int) error {
 	for !n.leaf {
 		path = append(path, n)
 		if budget == 0 {
-			// Out of time: park the object in the closest entry's buffer.
+			// Out of time: park the object in the closest entry's buffer
+			// (finding that entry reads this node, hence the +1).
 			e := t.closestEntry(n, x, ts)
 			e.buffer.Merge(hitchhiker)
 			t.parked++
-			return nil
+			return visited + 1, nil
 		}
 		e := t.closestEntry(n, x, ts)
 		// The insertion mass (object + hitchhikers) joins the subtree
@@ -187,13 +234,15 @@ func (t *Tree) Insert(x []float64, ts float64, budget int) error {
 			e.buffer = stats.NewCF(t.cfg.Dim)
 		}
 		n = e.child
+		visited++
 		if budget > 0 {
 			budget--
 		}
 	}
 	// Leaf level: absorb into the closest micro-cluster or open a new one.
 	t.insertLeaf(n, path, hitchhiker, x, ts, budget)
-	return nil
+	visited++
+	return visited, nil
 }
 
 // closestEntry decays the node's entries to ts and returns the entry whose
@@ -406,6 +455,28 @@ func (t *Tree) MicroClusters(minWeight float64) []MicroCluster {
 	}
 	walk(t.root)
 	return out
+}
+
+// MicroClusterCount returns how many micro-clusters MicroClusters
+// would report at the given floor, without materialising them — the
+// allocation-free form a stats endpoint polls.
+func (t *Tree) MicroClusterCount(minWeight float64) int {
+	count := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			t.decay(e, t.now)
+			if n.leaf {
+				if e.cf.N+e.buffer.N >= minWeight {
+					count++
+				}
+				continue
+			}
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	return count
 }
 
 // Weight returns the total (decayed) weight stored in the tree, parked

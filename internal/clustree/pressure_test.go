@@ -1,0 +1,170 @@
+package clustree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestValidateUnderPressure is the property test for the anytime
+// insertion machinery: random budget-starved streams — parked objects,
+// hitchhikers, forced merges, splits, decay — must keep the decayed-CF
+// consistency invariant at every checkpoint, and the total weight must
+// be conserved modulo decay: with λ = 0 the tree holds exactly one unit
+// of mass per insert wherever each object ended up (leaf, buffer, or
+// merged); with λ > 0 it holds exactly the analytically decayed sum
+// Σ 2^(−λ·(now−tᵢ)).
+func TestValidateUnderPressure(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		lambda float64
+	}{
+		{"no decay", 0},
+		{"decay", 0.004},
+		{"fast decay", 0.05},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				cfg := DefaultConfig(3)
+				cfg.Lambda = tc.lambda
+				tree, err := New(cfg)
+				if err != nil {
+					t.Fatalf("new: %v", err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				expected := 0.0 // analytically decayed total mass
+				prevTS := 0.0
+				const n = 3000
+				for i := 0; i < n; i++ {
+					// Drifting sources keep splits and merges coming.
+					src := float64(i % 4)
+					drift := float64(i) / n * 0.4
+					x := []float64{
+						src/4 + drift + 0.05*rng.NormFloat64(),
+						1 - src/4 + 0.05*rng.NormFloat64(),
+						drift + 0.05*rng.NormFloat64(),
+					}
+					// Budgets from starved (0: park at the first inner
+					// node) to unlimited, biased toward starvation.
+					budget := [...]int{0, 0, 1, 1, 2, -1}[rng.Intn(6)]
+					ts := float64(i + 1)
+					if err := tree.Insert(x, ts, budget); err != nil {
+						t.Fatalf("seed %d insert %d: %v", seed, i, err)
+					}
+					expected = expected*math.Exp2(-tc.lambda*(ts-prevTS)) + 1
+					prevTS = ts
+					if i%500 == 499 {
+						if err := tree.Validate(); err != nil {
+							t.Fatalf("seed %d after %d inserts: %v", seed, i+1, err)
+						}
+					}
+				}
+				if err := tree.Validate(); err != nil {
+					t.Fatalf("seed %d final: %v", seed, err)
+				}
+				if tree.Parked() == 0 {
+					t.Fatalf("seed %d: starvation produced no parked insertions", seed)
+				}
+				got := tree.Weight()
+				if diff := math.Abs(got - expected); diff > 1e-6*expected {
+					t.Fatalf("seed %d λ=%v: weight %v, want %v (mass not conserved)", seed, tc.lambda, got, expected)
+				}
+				if tc.lambda == 0 && math.Abs(got-n) > 1e-6*n {
+					t.Fatalf("seed %d: undecayed weight %v != %d inserts", seed, got, n)
+				}
+			}
+		})
+	}
+}
+
+// TestPruneUnderPressure: the maintenance sweep on a budget-starved
+// decaying tree must drop only sub-floor mass, keep the invariant, and
+// leave no micro-cluster below the floor.
+func TestPruneUnderPressure(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Lambda = 0.01
+	tree, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		budget := -1
+		if i%3 != 0 {
+			budget = rng.Intn(2)
+		}
+		if err := tree.Insert(x, float64(i+1), budget); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	const floor = 0.5
+	before := tree.Weight()
+	nodesBefore := tree.CountNodes()
+	points, subtrees := tree.Prune(floor)
+	if points == 0 {
+		t.Fatal("fast-decaying uniform stream pruned nothing")
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invariant after prune: %v", err)
+	}
+	after := tree.Weight()
+	if after > before+1e-9 {
+		t.Fatalf("prune increased weight %v → %v", before, after)
+	}
+	// Every removal was below the floor, so the loss is bounded.
+	maxLoss := float64(points+subtrees) * floor
+	if before-after > maxLoss+1e-9 {
+		t.Fatalf("prune dropped %v mass from %d removals (max %v): above-floor mass lost",
+			before-after, points+subtrees, maxLoss)
+	}
+	for i, mc := range tree.MicroClusters(0) {
+		if mc.Weight < floor {
+			t.Fatalf("micro-cluster %d weight %v survived below floor %v", i, mc.Weight, floor)
+		}
+	}
+	if tree.CountNodes() > nodesBefore {
+		t.Fatalf("prune grew the tree: %d → %d nodes", nodesBefore, tree.CountNodes())
+	}
+	// The pruned tree stays live.
+	if err := tree.Insert([]float64{0.5, 0.5}, tree.Now()+1, -1); err != nil {
+		t.Fatalf("insert after prune: %v", err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invariant after post-prune insert: %v", err)
+	}
+}
+
+// TestPruneEverything: a floor above all remaining mass must empty the
+// tree back to a single leaf root without breaking it.
+func TestPruneEverything(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Lambda = 0.2 // aggressive: weight halves every 5 objects
+	tree, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 800; i++ {
+		if err := tree.Insert([]float64{rng.Float64(), rng.Float64()}, float64(i+1), -1); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	tree.Prune(1e6)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invariant after total prune: %v", err)
+	}
+	if w := tree.Weight(); w != 0 {
+		t.Fatalf("weight %v after total prune, want 0", w)
+	}
+	if n := tree.CountNodes(); n != 1 {
+		t.Fatalf("%d nodes after total prune, want the empty root leaf", n)
+	}
+	// And it accepts a fresh stream.
+	if err := tree.Insert([]float64{0.1, 0.9}, tree.Now()+1, -1); err != nil {
+		t.Fatalf("insert after total prune: %v", err)
+	}
+	if w := tree.Weight(); math.Abs(w-1) > 1e-12 {
+		t.Fatalf("weight %v after restart insert, want 1", w)
+	}
+}

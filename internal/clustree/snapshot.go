@@ -77,6 +77,26 @@ func (s *SnapshotStore) Record(t float64, mcs []MicroCluster) error {
 	return nil
 }
 
+// Alpha returns the pyramidal base.
+func (s *SnapshotStore) Alpha() int { return s.alpha }
+
+// Capacity returns the per-order snapshot capacity.
+func (s *SnapshotStore) Capacity() int { return s.capacity }
+
+// All returns every retained snapshot sorted by time — the persistence
+// view of the store. Re-Recording them in this order into an empty
+// store with the same alpha and capacity reproduces the store exactly
+// (no order can exceed its capacity, so no eviction fires), which is
+// how snapshots of the store itself round-trip.
+func (s *SnapshotStore) All() []Snapshot {
+	out := make([]Snapshot, 0, s.Len())
+	for _, snaps := range s.orders {
+		out = append(out, snaps...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+	return out
+}
+
 // Len returns the total number of retained snapshots.
 func (s *SnapshotStore) Len() int {
 	total := 0

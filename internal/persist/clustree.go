@@ -1,0 +1,276 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+
+	"bayestree/internal/clustree"
+)
+
+// This file extends the snapshot format to the clustering workload:
+// the Section-4.2 ClusTree (tree topology, entry cluster features,
+// parked buffer CFs, decay timestamps, lifetime counters) and the
+// pyramidal snapshot store of micro-cluster history. As with the
+// classifier kinds, only the structural source of truth is stored —
+// float64 values bit-exact — so a reloaded tree reports MicroClusters
+// and Weight digit-identically to the tree that was saved, including
+// outstanding lazy decay (timestamps round-trip, so fading resumes at
+// the exact point it stopped).
+
+// Clustering snapshot kinds, continuing the kind namespace of
+// persist.go.
+const (
+	kindClusTree   byte = 4 // single clustering tree
+	kindClusterSet byte = 5 // sharded clustering server state
+)
+
+// ClusterSet is the whole state of a sharded clustering server: the
+// per-shard trees, the pyramidal micro-cluster history (nil when the
+// store is disabled) and the global logical clock.
+type ClusterSet struct {
+	// Trees holds one clustering tree per shard.
+	Trees []*clustree.Tree
+	// Store is the pyramidal snapshot store, nil when disabled.
+	Store *clustree.SnapshotStore
+	// Clock is the global logical time (objects ingested so far).
+	Clock int64
+}
+
+// EncodeClusTree writes a snapshot of a single clustering tree.
+func EncodeClusTree(w io.Writer, t *clustree.Tree) error {
+	if t == nil {
+		return fmt.Errorf("persist: nil clustree")
+	}
+	e := newEncoder(kindClusTree)
+	e.clusTree(t)
+	return e.flush(w)
+}
+
+// DecodeClusTree reads a clustering-tree snapshot written by
+// EncodeClusTree.
+func DecodeClusTree(r io.Reader) (*clustree.Tree, error) {
+	d, err := newDecoder(r, kindClusTree)
+	if err != nil {
+		return nil, err
+	}
+	t := d.clusTree()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return t, nil
+}
+
+// EncodeClusterSet writes a snapshot of a sharded clustering server's
+// whole model state — trees, pyramidal store and clock — in one file.
+func EncodeClusterSet(w io.Writer, set ClusterSet) error {
+	if len(set.Trees) == 0 {
+		return fmt.Errorf("persist: empty clustree set")
+	}
+	e := newEncoder(kindClusterSet)
+	e.u64(uint64(len(set.Trees)))
+	for _, t := range set.Trees {
+		if t == nil {
+			return fmt.Errorf("persist: nil clustree in set")
+		}
+		e.clusTree(t)
+	}
+	e.boolv(set.Store != nil)
+	if set.Store != nil {
+		e.clusStore(set.Store)
+	}
+	e.i64(set.Clock)
+	return e.flush(w)
+}
+
+// DecodeClusterSet reads a sharded clustering snapshot written by
+// EncodeClusterSet.
+func DecodeClusterSet(r io.Reader) (ClusterSet, error) {
+	var set ClusterSet
+	d, err := newDecoder(r, kindClusterSet)
+	if err != nil {
+		return set, err
+	}
+	n := d.count(1)
+	if n == 0 {
+		return ClusterSet{}, fmt.Errorf("persist: empty clustree set")
+	}
+	for i := 0; i < n; i++ {
+		t := d.clusTree()
+		if d.err != nil {
+			return ClusterSet{}, d.err
+		}
+		set.Trees = append(set.Trees, t)
+	}
+	if d.boolv() {
+		set.Store = d.clusStore(set.Trees[0].Config().Dim)
+	}
+	set.Clock = d.i64()
+	if d.err != nil {
+		return ClusterSet{}, d.err
+	}
+	return set, nil
+}
+
+// ---------------------------------------------------------------------
+// encoder
+
+func (e *encoder) clusConfig(c clustree.Config) {
+	e.i64(int64(c.Dim))
+	e.i64(int64(c.MaxFanout))
+	e.i64(int64(c.MinFanout))
+	e.i64(int64(c.MaxLeafEntries))
+	e.f64(c.Lambda)
+	e.f64(c.MergeThreshold)
+	e.f64(c.AbsorbDistance)
+}
+
+func (e *encoder) clusTree(t *clustree.Tree) {
+	e.clusConfig(t.Config())
+	e.f64(t.Now())
+	inserts, parked, merges, splits := t.Counters()
+	e.i64(int64(inserts))
+	e.i64(int64(parked))
+	e.i64(int64(merges))
+	e.i64(int64(splits))
+	e.clusNode(t.Dump())
+}
+
+func (e *encoder) clusNode(n *clustree.DumpNode) {
+	if n.Leaf {
+		e.u8(0)
+	} else {
+		e.u8(1)
+	}
+	e.u64(uint64(len(n.Entries)))
+	for i := range n.Entries {
+		ent := &n.Entries[i]
+		e.cf(&ent.CF)
+		e.cf(&ent.Buffer)
+		e.f64(ent.TS)
+		if !n.Leaf {
+			e.clusNode(ent.Child)
+		}
+	}
+}
+
+func (e *encoder) clusStore(s *clustree.SnapshotStore) {
+	e.i64(int64(s.Alpha()))
+	e.i64(int64(s.Capacity()))
+	snaps := s.All()
+	e.u64(uint64(len(snaps)))
+	for _, sn := range snaps {
+		e.f64(sn.Time)
+		e.u64(uint64(len(sn.MicroClusters)))
+		for i := range sn.MicroClusters {
+			e.cf(&sn.MicroClusters[i].CF)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// decoder
+
+func (d *decoder) clusConfig() clustree.Config {
+	var c clustree.Config
+	c.Dim = int(d.i64())
+	c.MaxFanout = int(d.i64())
+	c.MinFanout = int(d.i64())
+	c.MaxLeafEntries = int(d.i64())
+	c.Lambda = d.f64()
+	c.MergeThreshold = d.f64()
+	c.AbsorbDistance = d.f64()
+	return c
+}
+
+func (d *decoder) clusTree() *clustree.Tree {
+	cfg := d.clusConfig()
+	now := d.f64()
+	inserts := int(d.i64())
+	parked := int(d.i64())
+	merges := int(d.i64())
+	splits := int(d.i64())
+	if d.err != nil {
+		return nil
+	}
+	if cfg.Dim < 1 {
+		d.fail("clustree dim %d", cfg.Dim)
+		return nil
+	}
+	root := d.clusNode(cfg.Dim)
+	if d.err != nil {
+		return nil
+	}
+	t, err := clustree.Rebuild(cfg, root, now, inserts, parked, merges, splits)
+	if err != nil {
+		d.fail("rebuild clustree: %v", err)
+		return nil
+	}
+	return t
+}
+
+func (d *decoder) clusNode(dim int) *clustree.DumpNode {
+	tag := d.u8()
+	if d.err != nil {
+		return nil
+	}
+	if tag > 1 {
+		d.fail("unknown node tag %d", tag)
+		return nil
+	}
+	n := &clustree.DumpNode{Leaf: tag == 0}
+	count := d.count(8 * (2 + 4*dim))
+	for i := 0; i < count; i++ {
+		ent := clustree.DumpEntry{CF: d.cf(dim), Buffer: d.cf(dim), TS: d.f64()}
+		if !n.Leaf {
+			ent.Child = d.clusNode(dim)
+			if d.err != nil {
+				return nil
+			}
+		}
+		n.Entries = append(n.Entries, ent)
+	}
+	if d.err != nil {
+		return nil
+	}
+	return n
+}
+
+// clusStore rebuilds the pyramidal store by re-Recording the retained
+// snapshots in time order: no order bucket can exceed its capacity
+// (they were within capacity when saved), so no eviction fires and the
+// rebuilt store is identical.
+func (d *decoder) clusStore(dim int) *clustree.SnapshotStore {
+	alpha := int(d.i64())
+	capacity := int(d.i64())
+	count := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	store, err := clustree.NewSnapshotStore(alpha, capacity)
+	if err != nil {
+		d.fail("rebuild snapshot store: %v", err)
+		return nil
+	}
+	for i := 0; i < count; i++ {
+		time := d.f64()
+		mcCount := d.count(8 * (1 + 2*dim))
+		mcs := make([]clustree.MicroCluster, 0, mcCount)
+		for j := 0; j < mcCount; j++ {
+			cf := d.cf(dim)
+			if d.err != nil {
+				return nil
+			}
+			mcs = append(mcs, clustree.MicroCluster{
+				CF: cf, Weight: cf.N, Mean: cf.Mean(), Radius: cf.Radius(),
+			})
+		}
+		if d.err != nil {
+			return nil
+		}
+		if err := store.Record(time, mcs); err != nil {
+			d.fail("rebuild snapshot store: %v", err)
+			return nil
+		}
+	}
+	return store
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"bayestree/internal/clustree"
+	"bayestree/internal/core"
+	"bayestree/internal/persist"
+)
+
+// This file instantiates the engine for the paper's second anytime
+// workload: the Section-4.2 clustering extension (the ClusTree). The
+// anytime operation of a clustering tree is insertion — an object's
+// node budget decides how deep its descent gets before it is parked —
+// so here the admission controller governs ingest depth rather than
+// query refinement: under overload objects park higher up and the tree
+// coarsens, exactly the self-adaptation the paper describes, instead of
+// the stream backing up.
+//
+// Sharding: objects are hash-partitioned exactly like classification
+// observations, each shard holding an independent clustering tree over
+// its partition with timestamps drawn from one global logical clock
+// (one tick per ingested object). Because cluster features are
+// additive, the union micro-cluster set is simply the concatenation of
+// the shard sets — every shard micro-cluster summarises a disjoint
+// subset of the stream — so reads fan out and concatenate with no loss,
+// mirroring the classifier's exact log-sum-exp score merge.
+
+// ctree adapts one shard's clustering tree to the engine's Model
+// contract. Decay in a ClusTree is lazy — reading a weight fades it to
+// the current time in place — so the cluster engine runs in exclusive-
+// read mode and every access happens under the shard write lock.
+type ctree struct {
+	t *clustree.Tree
+	// epoch counts maintenance ticks; the ClusTree's real decay clock
+	// is the logical insert timestamp, so this is reporting only.
+	epoch int64
+	// floor is the maintenance sweep's pruning threshold (0 = keep
+	// everything; weights still fade).
+	floor float64
+}
+
+// Len implements Model: the lifetime insert count (a ClusTree
+// aggregates objects into cluster features rather than storing them).
+func (c *ctree) Len() int { return c.t.Inserts() }
+
+// Weight implements Model with the tree's decayed total mass.
+func (c *ctree) Weight() float64 { return c.t.Weight() }
+
+// CountNodes implements Model.
+func (c *ctree) CountNodes() int { return c.t.CountNodes() }
+
+// Epoch implements Model.
+func (c *ctree) Epoch() int64 { return c.epoch }
+
+// AdvanceEpoch implements Model. The ClusTree fades against its logical
+// insert clock, so advancing the epoch only moves the maintenance
+// counter; the sweep that follows does the forgetting.
+func (c *ctree) AdvanceEpoch(n int64) { c.epoch += n }
+
+// DecaySweep implements Model: prune micro-clusters whose faded weight
+// fell below the floor and drop emptied subtrees.
+func (c *ctree) DecaySweep() core.SweepStats {
+	points, subtrees := c.t.Prune(c.floor)
+	return core.SweepStats{PointsPruned: points, SubtreesPruned: subtrees}
+}
+
+// DecayConfig implements Model. Lambda is per logical time unit — one
+// ingested object advances the clock by one.
+func (c *ctree) DecayConfig() core.DecayOptions {
+	return core.DecayOptions{Lambda: c.t.Config().Lambda, MinWeight: c.floor}
+}
+
+// EnableDecay implements Model, overriding the tree's decay rate and
+// the sweep floor. Unlike the classifier's decay options, MinWeight is
+// not bounded by 1: micro-cluster weights are decayed object counts,
+// so floors well above 1 ("forget clusters that faded below ~5
+// objects") are the useful range.
+func (c *ctree) EnableDecay(opts core.DecayOptions) error {
+	if math.IsNaN(opts.Lambda) || math.IsInf(opts.Lambda, 0) || opts.Lambda < 0 {
+		return fmt.Errorf("server: cluster decay Lambda must be a finite value ≥ 0, got %v", opts.Lambda)
+	}
+	if math.IsNaN(opts.MinWeight) || math.IsInf(opts.MinWeight, 0) || opts.MinWeight < 0 {
+		return fmt.Errorf("server: cluster pruning floor must be a finite value ≥ 0, got %v", opts.MinWeight)
+	}
+	if err := c.t.SetLambda(opts.Lambda); err != nil {
+		return err
+	}
+	c.floor = opts.MinWeight
+	return nil
+}
+
+// ClusterOptions parameterise the parts of a ClusterServer beyond the
+// shared engine Config: the pyramidal snapshot store that retains
+// micro-cluster history at exponentially coarsening granularity.
+type ClusterOptions struct {
+	// SnapshotAlpha is the pyramidal base (0 means 2, minimum 2).
+	SnapshotAlpha int
+	// SnapshotCapacity is the per-order snapshot capacity (0 means
+	// alpha + 1, the classical choice).
+	SnapshotCapacity int
+	// SnapshotEvery records a union micro-cluster snapshot into the
+	// store every N ingested objects (0 means 1024; < 0 disables the
+	// store and the /window endpoint).
+	SnapshotEvery int
+	// SnapshotMinWeight drops micro-clusters lighter than this from
+	// recorded snapshots (0 keeps everything).
+	SnapshotMinWeight float64
+}
+
+// withDefaults resolves zero values.
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.SnapshotAlpha == 0 {
+		o.SnapshotAlpha = 2
+	}
+	if o.SnapshotCapacity == 0 {
+		o.SnapshotCapacity = o.SnapshotAlpha + 1
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 1024
+	}
+	return o
+}
+
+// ClusterServer is the sharded anytime clustering instantiation of the
+// engine. All methods are safe for concurrent use.
+type ClusterServer struct {
+	engine[*ctree]
+	ccfg  clustree.Config
+	copts ClusterOptions
+	// clock is the global logical time: one tick per ingested object,
+	// assigned under the owning shard's write lock so per-shard
+	// timestamps are strictly increasing.
+	clock atomic.Int64
+
+	snapMu sync.Mutex
+	store  *clustree.SnapshotStore
+}
+
+// NewCluster builds a clustering server of empty shards over the given
+// tree configuration. The engine Config supplies budgets, admission and
+// (via Config.Decay) an override of the tree's decay rate and the
+// maintenance sweep's pruning floor; Config.Query is ignored.
+func NewCluster(ccfg clustree.Config, shards int, cfg Config, copts ClusterOptions) (*ClusterServer, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("server: shard count %d", shards)
+	}
+	trees := make([]*clustree.Tree, shards)
+	for i := range trees {
+		t, err := clustree.New(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		trees[i] = t
+	}
+	return newClusterOver(trees, 0, nil, cfg, copts)
+}
+
+// newClusterOver wires a ClusterServer over existing trees (empty or
+// warm-started), a restored clock and an optional restored store.
+func newClusterOver(trees []*clustree.Tree, clock int64, store *clustree.SnapshotStore, cfg Config, copts ClusterOptions) (*ClusterServer, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("server: no shards")
+	}
+	ccfg := trees[0].Config()
+	models := make([]*ctree, len(trees))
+	for i, t := range trees {
+		if t == nil {
+			return nil, fmt.Errorf("server: nil shard %d", i)
+		}
+		if t.Config().Dim != ccfg.Dim {
+			return nil, fmt.Errorf("server: shard %d dim %d != shard 0 dim %d", i, t.Config().Dim, ccfg.Dim)
+		}
+		models[i] = &ctree{t: t, floor: cfg.Decay.MinWeight}
+	}
+	copts = copts.withDefaults()
+	s := &ClusterServer{ccfg: ccfg, copts: copts}
+	s.clock.Store(clock)
+	if copts.SnapshotEvery > 0 {
+		if store == nil {
+			var err error
+			store, err = clustree.NewSnapshotStore(copts.SnapshotAlpha, copts.SnapshotCapacity)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.store = store
+	}
+	if err := s.init(models, cfg, true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ClusterFromSnapshot builds a clustering server from a snapshot
+// written by WriteSnapshot, warm-starting the shard trees, the
+// pyramidal store and the logical clock.
+func ClusterFromSnapshot(r io.Reader, cfg Config, copts ClusterOptions) (*ClusterServer, error) {
+	set, err := persist.DecodeClusterSet(r)
+	if err != nil {
+		return nil, err
+	}
+	return newClusterOver(set.Trees, set.Clock, set.Store, cfg, copts)
+}
+
+// WriteSnapshot encodes every shard's tree, the pyramidal store and the
+// logical clock into one versioned snapshot. It holds all shard locks
+// for the duration, so the snapshot is a consistent cut.
+func (s *ClusterServer) WriteSnapshot(w io.Writer) error {
+	return s.withAllRead(func(models []*ctree) error {
+		trees := make([]*clustree.Tree, len(models))
+		for i, m := range models {
+			trees[i] = m.t
+		}
+		s.snapMu.Lock()
+		defer s.snapMu.Unlock()
+		return persist.EncodeClusterSet(w, persist.ClusterSet{
+			Trees: trees, Store: s.store, Clock: s.clock.Load(),
+		})
+	})
+}
+
+// Dim returns the dimensionality of served observations.
+func (s *ClusterServer) Dim() int { return s.ccfg.Dim }
+
+// Clock returns the global logical time (objects ingested so far).
+func (s *ClusterServer) Clock() int64 { return s.clock.Load() }
+
+// ClusterResult is the outcome of one served ingest.
+type ClusterResult struct {
+	// Shard is the shard the object was routed to.
+	Shard int `json:"shard"`
+	// Requested is the descent budget the request asked for (after
+	// capping).
+	Requested int `json:"requested"`
+	// Granted is what the admission controller allowed — under load
+	// this drops toward zero and objects park higher up instead of the
+	// stream backing up.
+	Granted int `json:"granted"`
+	// NodesRead is the descent work actually spent: inner nodes stepped
+	// through plus the terminal node (leaf or parking buffer) read at
+	// the end. It falls short of Granted when the leaf was reached
+	// early, and can exceed it by one for that terminal read — the
+	// overage is debited from the admission bucket.
+	NodesRead int `json:"nodes_read"`
+	// Parked reports whether the object was buffered in an inner node
+	// (to hitchhike leafward later) rather than reaching leaf level.
+	Parked bool `json:"parked"`
+}
+
+// Insert serves one anytime ingest: the requested descent budget is
+// capped, passed through admission, and spent descending the owning
+// shard's tree — running out parks the object in an inner-node buffer,
+// to hitchhike toward leaf level on a later descent. budget 0 means the
+// server default, negative means "as much as the cap and admission
+// allow".
+func (s *ClusterServer) Insert(x []float64, budget int) (ClusterResult, error) {
+	return s.insertResolved(x, s.clampBudget(budget))
+}
+
+// insertResolved is Insert after budget resolution; unspent grant is
+// refunded so early leaf arrival does not eat configured capacity.
+func (s *ClusterServer) insertResolved(x []float64, requested int) (ClusterResult, error) {
+	if len(x) != s.ccfg.Dim {
+		return ClusterResult{}, fmt.Errorf("server: point dim %d != model dim %d", len(x), s.ccfg.Dim)
+	}
+	granted, finish := s.grant(requested)
+	idx := shardIndex(x, len(s.shards))
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	ts := s.clock.Add(1)
+	parkedBefore := sh.tree.t.Parked()
+	visited, err := sh.tree.t.InsertCounted(x, float64(ts), granted)
+	parked := sh.tree.t.Parked() > parkedBefore
+	sh.mu.Unlock()
+	finish(visited)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	s.inserts.Add(1)
+	s.maybeRecord(ts)
+	return ClusterResult{Shard: idx, Requested: requested, Granted: granted, NodesRead: visited, Parked: parked}, nil
+}
+
+// maybeRecord stores a pyramidal snapshot of the union micro-clusters
+// when the logical clock crosses a recording boundary. The capture
+// holds all shard locks so it is one consistent cut, and it is
+// labelled with the clock value read under those locks — not the
+// boundary tick that triggered it — because concurrent ingest may have
+// advanced the stream between the tick and the capture, and a /window
+// subtraction against a mislabelled snapshot would leak those objects
+// out of their window.
+func (s *ClusterServer) maybeRecord(ts int64) {
+	if s.store == nil || ts%int64(s.copts.SnapshotEvery) != 0 {
+		return
+	}
+	var mcs []clustree.MicroCluster
+	var at int64
+	s.withAllRead(func(models []*ctree) error {
+		at = s.clock.Load()
+		for _, m := range models {
+			mcs = append(mcs, m.t.MicroClusters(s.copts.SnapshotMinWeight)...)
+		}
+		return nil
+	})
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	// Record rejects non-positive times only; at ≥ ts ≥ SnapshotEvery.
+	s.store.Record(float64(at), mcs)
+}
+
+// MicroClusters returns the union micro-cluster set across all shards,
+// decayed to each shard's current time and dropping clusters below
+// minWeight. CF additivity makes the concatenation exact: each shard
+// summarises a disjoint hash partition of the stream.
+func (s *ClusterServer) MicroClusters(minWeight float64) []clustree.MicroCluster {
+	var out []clustree.MicroCluster
+	for _, sh := range s.shards {
+		s.rlock(sh)
+		out = append(out, sh.tree.t.MicroClusters(minWeight)...)
+		s.runlock(sh)
+	}
+	return out
+}
+
+// MacroClusters runs the density-based offline step over the union
+// micro-clusters: cores (weight ≥ minWeight) within eps connect,
+// lighter micro-clusters join the nearest core, the rest are noise.
+// It returns the macro clusters, the noise indices and the
+// micro-cluster set they index into.
+func (s *ClusterServer) MacroClusters(eps, minWeight float64) ([]clustree.MacroCluster, []int, []clustree.MicroCluster) {
+	mcs := s.MicroClusters(0)
+	macros, noise := clustree.MacroClusters(mcs, clustree.MacroOptions{Eps: eps, MinWeight: minWeight})
+	return macros, noise, mcs
+}
+
+// Window returns the micro-clusters of the data that arrived between
+// the retained pyramidal snapshots closest to t1 and t2 (CF
+// subtractivity), or an error when the store is disabled or empty.
+func (s *ClusterServer) Window(t1, t2, matchRadius float64) ([]clustree.MicroCluster, error) {
+	if s.store == nil {
+		return nil, fmt.Errorf("server: snapshot store disabled")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.store.Window(t1, t2, matchRadius)
+}
+
+// SnapshotsRetained returns how many pyramidal snapshots the store
+// currently holds (0 when disabled).
+func (s *ClusterServer) SnapshotsRetained() int {
+	if s.store == nil {
+		return 0
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.store.Len()
+}
+
+// ClassifyBatchBudgets implements stream.Engine for the clustering
+// workload. The anytime operation of a ClusTree is insertion, so the
+// batch path ingests: xs[i] descends with budget budgets[i] (literal,
+// as the Engine contract requires — 0 parks at the root), each object
+// passing the admission controller individually. The returned
+// "prediction" is the shard each object was routed to. Together with
+// Learn this lets stream.RunBatch drive clustering ingest with budgets
+// drawn from the arrival process, exactly as it drives classification.
+func (s *ClusterServer) ClassifyBatchBudgets(xs [][]float64, budgets []int, workers int) ([]int, error) {
+	if len(budgets) != len(xs) {
+		return nil, fmt.Errorf("server: %d budgets for %d objects", len(budgets), len(xs))
+	}
+	shards := make([]int, len(xs))
+	errs := make([]error, len(xs))
+	if workers <= 0 {
+		workers = 1
+	}
+	runPool(len(xs), workers, func(i int) {
+		res, err := s.insertResolved(xs[i], s.capBudget(budgets[i]))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		shards[i] = res.Shard
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}
+
+// Learn implements stream.Engine as a no-op: clustering is unsupervised
+// and the object was already ingested by the batch pass above. It
+// exists so stream.WithDecayEvery can tick the maintenance sweep once
+// per n labelled objects, adapting decay pruning to stream position.
+func (s *ClusterServer) Learn(x []float64, label int) error { return nil }
+
+// ClusterStats extends the shared engine Stats with the clustering
+// workload's own observables.
+type ClusterStats struct {
+	Stats
+	// Clock is the global logical time (objects ingested).
+	Clock int64 `json:"clock"`
+	// Parked counts insertions that ended in an inner-node buffer — the
+	// overload signal of an anytime clustering tree.
+	Parked int64 `json:"parked"`
+	// Merges counts absorptions into existing micro-clusters.
+	Merges int64 `json:"merges"`
+	// Splits counts leaf splits.
+	Splits int64 `json:"splits"`
+	// MicroClusters is the current union micro-cluster count.
+	MicroClusters int `json:"micro_clusters"`
+	// Depth is the deepest shard tree's level count — under sustained
+	// budget pressure objects park high and no splits occur, so this is
+	// the self-adaptation observable (it stays small on fast streams).
+	Depth int `json:"depth"`
+	// SnapshotsRetained is the pyramidal store's current size.
+	SnapshotsRetained int `json:"snapshots_retained"`
+}
+
+// Stats returns a point-in-time summary: the shared engine counters
+// plus parked/merge/split totals and the micro-cluster population.
+func (s *ClusterServer) Stats() ClusterStats {
+	st := ClusterStats{Stats: s.baseStats(), Clock: s.clock.Load()}
+	for _, sh := range s.shards {
+		s.rlock(sh)
+		_, parked, merges, splits := sh.tree.t.Counters()
+		st.MicroClusters += sh.tree.t.MicroClusterCount(0)
+		if d := sh.tree.t.Depth(); d > st.Depth {
+			st.Depth = d
+		}
+		s.runlock(sh)
+		st.Parked += int64(parked)
+		st.Merges += int64(merges)
+		st.Splits += int64(splits)
+	}
+	st.SnapshotsRetained = s.SnapshotsRetained()
+	return st
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"bayestree/internal/clustree"
+)
+
+// HTTP surface of the clustering server:
+//
+//	POST /cluster        {"x":[...],"budget":3}           → ClusterResult JSON
+//	POST /cluster        (NDJSON body, one object/line)   → NDJSON results
+//	GET  /microclusters?minw=0.5                          → micro-cluster JSON
+//	GET  /macroclusters?eps=0.12&minw=5                   → macro-cluster JSON
+//	GET  /window?t1=100&t2=400&eps=0.12&minw=2&radius=0.1 → windowed macro clusters
+//	GET  /stats                                           → ClusterStats JSON
+//	GET  /healthz                                         → 200 ok / 503 draining
+//
+// The NDJSON bulk form shares the classifier's windowed streaming
+// machinery (see ndjsonStream): a client pipes an unbounded object
+// stream through one connection and reads ingest acks while sending.
+
+// clusterRequest is the JSON body of one ingest. Budget semantics
+// match ClusterServer.Insert: 0 means the server default, negative
+// means "as deep as the cap and admission allow".
+type clusterRequest struct {
+	X      []float64 `json:"x"`
+	Budget int       `json:"budget"`
+}
+
+// clusterLineResponse is one NDJSON ingest ack: a ClusterResult on
+// success, an Error on per-line failure (the stream keeps going).
+type clusterLineResponse struct {
+	ClusterResult
+	Error string `json:"error,omitempty"`
+}
+
+// microClusterJSON is the wire form of one micro-cluster.
+type microClusterJSON struct {
+	Weight float64   `json:"weight"`
+	Mean   []float64 `json:"mean"`
+	Radius float64   `json:"radius"`
+}
+
+// macroClusterJSON is the wire form of one macro cluster.
+type macroClusterJSON struct {
+	Weight float64   `json:"weight"`
+	Mean   []float64 `json:"mean"`
+	Size   int       `json:"size"`
+}
+
+// Handler returns the HTTP handler serving the clustering endpoints.
+func (s *ClusterServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster", s.handleCluster)
+	mux.HandleFunc("/microclusters", s.handleMicroClusters)
+	mux.HandleFunc("/macroclusters", s.handleMacroClusters)
+	mux.HandleFunc("/window", s.handleWindow)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *ClusterServer) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if isStream(r) {
+		s.streamCluster(w, r)
+		return
+	}
+	var req clusterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := s.Insert(req.X, req.Budget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// streamCluster serves the NDJSON bulk ingest form: one ack line per
+// object line, in order, flushed per window. Objects in one window are
+// ingested by a small worker pool — inserts to distinct shards proceed
+// in parallel, each admitted individually.
+func (s *ClusterServer) streamCluster(w http.ResponseWriter, r *http.Request) {
+	ndjsonStream(w, r, func(lines []string) []interface{} {
+		responses := make([]interface{}, len(lines))
+		runPool(len(lines), 8, func(i int) {
+			var req clusterRequest
+			if err := json.Unmarshal([]byte(lines[i]), &req); err != nil {
+				responses[i] = clusterLineResponse{Error: fmt.Sprintf("bad request line: %v", err)}
+				return
+			}
+			res, err := s.Insert(req.X, req.Budget)
+			if err != nil {
+				responses[i] = clusterLineResponse{Error: err.Error()}
+				return
+			}
+			responses[i] = clusterLineResponse{ClusterResult: res}
+		})
+		return responses
+	}, func(msg string) interface{} {
+		return clusterLineResponse{Error: msg}
+	})
+}
+
+// queryFloat parses a float query parameter, using def when absent.
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+func (s *ClusterServer) handleMicroClusters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	minw, err := queryFloat(r, "minw", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mcs := s.MicroClusters(minw)
+	out := make([]microClusterJSON, len(mcs))
+	for i, m := range mcs {
+		out[i] = microClusterJSON{Weight: m.Weight, Mean: m.Mean, Radius: m.Radius}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"micro_clusters": out, "count": len(out),
+	})
+}
+
+func (s *ClusterServer) handleMacroClusters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	eps, err1 := queryFloat(r, "eps", 0.1)
+	minw, err2 := queryFloat(r, "minw", 1)
+	for _, err := range []error{err1, err2} {
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	out, noise := macroJSON(s.MicroClusters(0), eps, minw)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"macro_clusters": out, "noise": noise, "eps": eps, "min_weight": minw,
+	})
+}
+
+// handleWindow serves the pyramidal-store view: the macro clusters of
+// the data that arrived between the retained snapshots closest to t1
+// and t2 (CF subtractivity).
+func (s *ClusterServer) handleWindow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	t1, err1 := queryFloat(r, "t1", 0)
+	t2, err2 := queryFloat(r, "t2", 0)
+	eps, err3 := queryFloat(r, "eps", 0.1)
+	minw, err4 := queryFloat(r, "minw", 1)
+	radius, err5 := queryFloat(r, "radius", 0.1)
+	for _, err := range []error{err1, err2, err3, err4, err5} {
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	mcs, err := s.Window(t1, t2, radius)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	macros, noise := macroJSON(mcs, eps, minw)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"macro_clusters": macros, "noise": noise,
+		"t1": t1, "t2": t2, "micro_clusters": len(mcs),
+	})
+}
+
+// macroJSON runs the offline macro step over a micro-cluster set and
+// shapes the one wire form /macroclusters and /window share.
+func macroJSON(mcs []clustree.MicroCluster, eps, minw float64) ([]macroClusterJSON, int) {
+	macros, noise := clustree.MacroClusters(mcs, clustree.MacroOptions{Eps: eps, MinWeight: minw})
+	out := make([]macroClusterJSON, len(macros))
+	for i, m := range macros {
+		out[i] = macroClusterJSON{Weight: m.Weight, Mean: m.Mean, Size: len(m.Members)}
+	}
+	return out, len(noise)
+}
+
+func (s *ClusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *ClusterServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

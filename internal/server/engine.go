@@ -1,0 +1,359 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayestree/internal/core"
+)
+
+// This file is the workload-agnostic engine layer: everything the
+// serving subsystem does that does not depend on what the shards hold.
+// The paper's anytime contract — budgeted refinement, CF additivity,
+// exponential decay — is one machine instantiated by several workloads
+// (the multi-class Bayes tree classifier, the Section-4.2 ClusTree),
+// and this layer serves any of them behind the same machinery:
+//
+//   - per-shard reader/writer locks, so reads fan out concurrently
+//     while writes touch one shard;
+//   - a global token-bucket admission controller with refunds, so the
+//     aggregate refinement work tracks a configured node capacity and
+//     overload coarsens answers instead of queueing them;
+//   - size-proportional budget splitting across shards;
+//   - a background decay-maintenance loop that advances the epoch and
+//     sweeps faded mass one short write-lock slice at a time;
+//   - draining state for graceful shutdown behind a load balancer.
+//
+// A workload plugs in by implementing Model for its per-shard type and
+// embedding engine[M]; Server (classification) and ClusterServer
+// (clustering) are the two instantiations.
+
+// Model is the per-shard contract a workload implements to be served by
+// the engine: size and mass accounting for budget splitting and stats,
+// plus the decay-maintenance surface. *core.MultiTree implements it
+// directly; the clustering workload wraps *clustree.Tree.
+type Model interface {
+	// Len is the number of observations the model holds (for models
+	// that aggregate rather than store, the lifetime insert count).
+	Len() int
+	// Weight is the effective (decayed) total mass — exactly
+	// float64(Len()) for undecayed models.
+	Weight() float64
+	// CountNodes is the tree node count, the bounded-memory observable
+	// of a decaying model.
+	CountNodes() int
+	// Epoch returns the model's current decay epoch.
+	Epoch() int64
+	// AdvanceEpoch advances the model's logical decay clock by n epochs.
+	AdvanceEpoch(n int64)
+	// DecaySweep prunes mass that faded below the configured floor,
+	// reporting what was removed.
+	DecaySweep() core.SweepStats
+	// DecayConfig reports the decay options in effect.
+	DecayConfig() core.DecayOptions
+	// EnableDecay turns on (or overrides) exponential forgetting.
+	EnableDecay(core.DecayOptions) error
+}
+
+// shard is one partition of a served model behind a reader/writer lock.
+type shard[M Model] struct {
+	mu   sync.RWMutex
+	tree M
+}
+
+// engine is the generic serving core a workload embeds. All methods are
+// safe for concurrent use.
+type engine[M Model] struct {
+	cfg      Config
+	shards   []*shard[M]
+	admit    *tokenBucket
+	start    time.Time
+	draining atomic.Bool
+
+	// exclusive marks workloads whose reads mutate the model (lazily
+	// applied decay): their "read" paths take the shard write lock.
+	exclusive bool
+
+	// decayOn is set when any shard forgets (via Config.Decay or a
+	// warm-started snapshot's own decay state); maintStop/maintDone
+	// bracket the background maintenance loop.
+	decayOn   bool
+	maintStop chan struct{}
+	maintDone chan struct{}
+	closeOnce sync.Once
+
+	requests       atomic.Int64
+	inserts        atomic.Int64
+	nodesRequested atomic.Int64
+	nodesGranted   atomic.Int64
+	nodesRead      atomic.Int64
+	decayEpoch     atomic.Int64
+	pointsPruned   atomic.Int64
+	subtreesPruned atomic.Int64
+}
+
+// init wires the engine over pre-built per-shard models: admission,
+// decay override and the background maintenance loop. exclusive marks
+// workloads whose reads mutate the model.
+func (e *engine[M]) init(models []M, cfg Config, exclusive bool) error {
+	if len(models) == 0 {
+		return fmt.Errorf("server: no shards")
+	}
+	cfg = cfg.withDefaults()
+	e.cfg = cfg
+	e.exclusive = exclusive
+	e.start = time.Now()
+	for _, m := range models {
+		e.shards = append(e.shards, &shard[M]{tree: m})
+	}
+	if cfg.NodesPerSecond > 0 {
+		e.admit = newTokenBucket(cfg.NodesPerSecond, cfg.Burst)
+	}
+	if cfg.Decay.Enabled() {
+		for _, sh := range e.shards {
+			if err := sh.tree.EnableDecay(cfg.Decay); err != nil {
+				return fmt.Errorf("server: %w", err)
+			}
+		}
+	}
+	for _, sh := range e.shards {
+		if sh.tree.DecayConfig().Enabled() {
+			e.decayOn = true
+		}
+		if ep := sh.tree.Epoch(); ep > e.decayEpoch.Load() {
+			e.decayEpoch.Store(ep)
+		}
+	}
+	if e.decayOn && cfg.DecayEvery > 0 {
+		e.maintStop = make(chan struct{})
+		e.maintDone = make(chan struct{})
+		go e.maintain(cfg.DecayEvery)
+	}
+	return nil
+}
+
+// rlock takes the read side of a shard's lock — the write side instead
+// for exclusive workloads, whose reads apply decay in place.
+func (e *engine[M]) rlock(sh *shard[M]) {
+	if e.exclusive {
+		sh.mu.Lock()
+	} else {
+		sh.mu.RLock()
+	}
+}
+
+// runlock releases what rlock took.
+func (e *engine[M]) runlock(sh *shard[M]) {
+	if e.exclusive {
+		sh.mu.Unlock()
+	} else {
+		sh.mu.RUnlock()
+	}
+}
+
+// maintain is the background maintenance loop: one decay epoch per
+// tick. Each tick takes the per-shard write locks one at a time in
+// short slices, so reads on the other shards keep flowing and reads on
+// the swept shard wait only for that shard's sweep.
+func (e *engine[M]) maintain(every time.Duration) {
+	defer close(e.maintDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.maintStop:
+			return
+		case <-tick.C:
+			e.AdvanceDecay()
+		}
+	}
+}
+
+// AdvanceDecay advances the decay epoch by one on every shard and runs
+// the maintenance sweep — rescale, prune below the weight floor,
+// collapse underfull subtrees. It locks one shard at a time so reads
+// never wait on more than one shard's sweep. A no-op (zero stats) when
+// no shard decays.
+func (e *engine[M]) AdvanceDecay() core.SweepStats {
+	var agg core.SweepStats
+	if !e.decayOn {
+		return agg
+	}
+	e.decayEpoch.Add(1)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.tree.AdvanceEpoch(1)
+		st := sh.tree.DecaySweep()
+		sh.mu.Unlock()
+		agg.PointsPruned += st.PointsPruned
+		agg.SubtreesPruned += st.SubtreesPruned
+		agg.SubtreesCollapsed += st.SubtreesCollapsed
+		agg.Reinserted += st.Reinserted
+	}
+	e.pointsPruned.Add(int64(agg.PointsPruned))
+	e.subtreesPruned.Add(int64(agg.SubtreesPruned))
+	return agg
+}
+
+// Close stops the background maintenance loop, if one is running. Safe
+// to call multiple times; the engine still serves afterwards (only
+// maintenance stops).
+func (e *engine[M]) Close() {
+	e.closeOnce.Do(func() {
+		if e.maintStop != nil {
+			close(e.maintStop)
+			<-e.maintDone
+		}
+	})
+}
+
+// NumShards returns the number of shards.
+func (e *engine[M]) NumShards() int { return len(e.shards) }
+
+// Len returns the total number of observations across all shards.
+func (e *engine[M]) Len() int {
+	total := 0
+	for _, sh := range e.shards {
+		e.rlock(sh)
+		total += sh.tree.Len()
+		e.runlock(sh)
+	}
+	return total
+}
+
+// SetDraining marks the engine as draining (or not): /healthz starts
+// failing so load balancers stop routing here and newly arriving
+// requests are rejected with 503. Requests already being processed are
+// unaffected — the serving commands pair this with http.Server.Shutdown,
+// which waits for them to finish.
+func (e *engine[M]) SetDraining(v bool) { e.draining.Store(v) }
+
+// Draining reports whether the engine is draining.
+func (e *engine[M]) Draining() bool { return e.draining.Load() }
+
+// clampBudget resolves a request-level budget against the configured
+// default and cap: 0 means the server default, negative means "as much
+// as allowed". This is the HTTP-facing convention; the stream.Engine
+// path uses capBudget instead, where 0 is a literal zero.
+func (e *engine[M]) clampBudget(budget int) int {
+	if budget == 0 {
+		budget = e.cfg.DefaultBudget
+	}
+	return e.capBudget(budget)
+}
+
+// capBudget applies only the hard cap: negative and over-cap budgets
+// become MaxBudget, everything else — including 0 — is taken literally.
+func (e *engine[M]) capBudget(budget int) int {
+	if budget < 0 || budget > e.cfg.MaxBudget {
+		budget = e.cfg.MaxBudget
+	}
+	return budget
+}
+
+// grant passes a resolved budget through admission and the request
+// counters, returning what was granted and a finish func the caller
+// must invoke with the node reads actually spent — unspent grant flows
+// back into the bucket so exhaustion does not eat configured capacity,
+// and reads beyond the grant (the clustering workload's terminal-node
+// visit) are debited best-effort so the long-run node-read rate still
+// tracks the configured capacity.
+func (e *engine[M]) grant(requested int) (granted int, finish func(read int)) {
+	granted = e.admit.take(requested)
+	e.requests.Add(1)
+	e.nodesRequested.Add(int64(requested))
+	e.nodesGranted.Add(int64(granted))
+	return granted, func(read int) {
+		if granted > read {
+			e.admit.refund(granted - read)
+		} else if read > granted {
+			e.admit.take(read - granted)
+		}
+		e.nodesRead.Add(int64(read))
+	}
+}
+
+// sizesAndWeights snapshots every shard's observation count and
+// effective mass — the inputs to proportional budget splitting and
+// size-weighted score merging.
+func (e *engine[M]) sizesAndWeights() (sizes []int, weights []float64, total int, totalW float64) {
+	sizes = make([]int, len(e.shards))
+	weights = make([]float64, len(e.shards))
+	for i, sh := range e.shards {
+		e.rlock(sh)
+		sizes[i] = sh.tree.Len()
+		// Effective decayed mass; exactly float64(Len) for undecayed
+		// shards, so the λ = 0 mixture weights are digit-identical to
+		// the count-based ones.
+		weights[i] = sh.tree.Weight()
+		e.runlock(sh)
+		total += sizes[i]
+		totalW += weights[i]
+	}
+	return sizes, weights, total, totalW
+}
+
+// splitBudget divides a granted budget across shards in proportion to
+// their sizes, remainder to the earliest non-empty shards — the exact
+// split the union model would spend on each partition.
+func splitBudget(granted int, sizes []int, total int) []int {
+	budgets := make([]int, len(sizes))
+	if total == 0 {
+		return budgets
+	}
+	spent := 0
+	for i, n := range sizes {
+		budgets[i] = granted * n / total
+		spent += budgets[i]
+	}
+	for i := 0; spent < granted && i < len(budgets); i++ {
+		if sizes[i] > 0 {
+			budgets[i]++
+			spent++
+		}
+	}
+	return budgets
+}
+
+// withAllRead runs fn over every shard's model while holding all shard
+// read locks (write locks for exclusive workloads), so fn sees one
+// consistent cut across the whole sharded model — the snapshot path.
+func (e *engine[M]) withAllRead(fn func(models []M) error) error {
+	models := make([]M, len(e.shards))
+	for i, sh := range e.shards {
+		e.rlock(sh)
+		defer e.runlock(sh)
+		models[i] = sh.tree
+	}
+	return fn(models)
+}
+
+// baseStats fills the workload-agnostic part of a Stats summary.
+func (e *engine[M]) baseStats() Stats {
+	st := Stats{
+		UptimeSeconds:  time.Since(e.start).Seconds(),
+		Shards:         len(e.shards),
+		Requests:       e.requests.Load(),
+		Inserts:        e.inserts.Load(),
+		NodesRequested: e.nodesRequested.Load(),
+		NodesGranted:   e.nodesGranted.Load(),
+		NodesRead:      e.nodesRead.Load(),
+		Draining:       e.draining.Load(),
+		DecayEnabled:   e.decayOn,
+		DecayEpoch:     e.decayEpoch.Load(),
+		PointsPruned:   e.pointsPruned.Load(),
+		SubtreesPruned: e.subtreesPruned.Load(),
+	}
+	for _, sh := range e.shards {
+		e.rlock(sh)
+		n := sh.tree.Len()
+		st.Nodes += sh.tree.CountNodes()
+		st.Weight += sh.tree.Weight()
+		e.runlock(sh)
+		st.ShardSizes = append(st.ShardSizes, n)
+		st.Observations += n
+	}
+	return st
+}

@@ -115,36 +115,31 @@ func enableFullDuplex(w http.ResponseWriter) {
 	}
 }
 
-// streamClassify serves the NDJSON batch form: windows of request lines
-// are classified by a worker pool (each item admitted individually),
-// and response lines are written in input order and flushed per window.
-func (s *Server) streamClassify(w http.ResponseWriter, r *http.Request) {
+// ndjsonStream drives the windowed NDJSON form every bulk endpoint
+// shares: request lines are read and batched into windows of up to
+// streamWindow lines, each window is handed to process (which returns
+// exactly one JSON-encodable response per line, in order), and the
+// responses are written and flushed per window — so a client can pipe
+// an unbounded stream through a single connection and read answers
+// while it is still sending. A scanner error (oversized line, broken
+// body) would otherwise end the stream silently with fewer response
+// lines than request lines; errLine builds the terminal error line that
+// lets the client tell truncation from completion.
+func ndjsonStream(w http.ResponseWriter, r *http.Request,
+	process func(lines []string) []interface{}, errLine func(msg string) interface{}) {
 	enableFullDuplex(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	window := make([]classifyRequest, 0, streamWindow)
-	parseErrs := make([]string, 0, streamWindow)
+	window := make([]string, 0, streamWindow)
 
 	emit := func() bool {
 		if len(window) == 0 {
 			return true
 		}
-		responses := make([]lineResponse, len(window))
-		runPool(len(window), 8, func(i int) {
-			if parseErrs[i] != "" {
-				responses[i] = lineResponse{Error: parseErrs[i]}
-				return
-			}
-			res, err := s.Classify(window[i].X, window[i].Budget)
-			if err != nil {
-				responses[i] = lineResponse{Error: err.Error()}
-				return
-			}
-			responses[i] = lineResponse{Result: res}
-		})
+		responses := process(window)
 		for i := range responses {
 			if err := enc.Encode(responses[i]); err != nil {
 				return false // client went away
@@ -154,7 +149,6 @@ func (s *Server) streamClassify(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		window = window[:0]
-		parseErrs = parseErrs[:0]
 		return true
 	}
 
@@ -163,13 +157,7 @@ func (s *Server) streamClassify(w http.ResponseWriter, r *http.Request) {
 		if line == "" {
 			continue
 		}
-		var req classifyRequest
-		errMsg := ""
-		if err := json.Unmarshal([]byte(line), &req); err != nil {
-			errMsg = fmt.Sprintf("bad request line: %v", err)
-		}
-		window = append(window, req)
-		parseErrs = append(parseErrs, errMsg)
+		window = append(window, line)
 		if len(window) >= streamWindow {
 			if !emit() {
 				return
@@ -179,16 +167,37 @@ func (s *Server) streamClassify(w http.ResponseWriter, r *http.Request) {
 	if !emit() {
 		return
 	}
-	// A scanner error (oversized line, broken body) would otherwise end
-	// the stream silently with fewer response lines than request lines;
-	// emit a terminal error line so the client can tell truncation from
-	// completion.
 	if err := sc.Err(); err != nil {
-		enc.Encode(lineResponse{Error: fmt.Sprintf("request stream: %v", err)})
+		enc.Encode(errLine(fmt.Sprintf("request stream: %v", err)))
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+}
+
+// streamClassify serves the NDJSON batch form: windows of request lines
+// are classified by a worker pool (each item admitted individually),
+// and response lines are written in input order and flushed per window.
+func (s *Server) streamClassify(w http.ResponseWriter, r *http.Request) {
+	ndjsonStream(w, r, func(lines []string) []interface{} {
+		responses := make([]interface{}, len(lines))
+		runPool(len(lines), 8, func(i int) {
+			var req classifyRequest
+			if err := json.Unmarshal([]byte(lines[i]), &req); err != nil {
+				responses[i] = lineResponse{Error: fmt.Sprintf("bad request line: %v", err)}
+				return
+			}
+			res, err := s.Classify(req.X, req.Budget)
+			if err != nil {
+				responses[i] = lineResponse{Error: err.Error()}
+				return
+			}
+			responses[i] = lineResponse{Result: res}
+		})
+		return responses
+	}, func(msg string) interface{} {
+		return lineResponse{Error: msg}
+	})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -222,41 +231,22 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 // overhead for bulk ingest while classifications keep flowing on other
 // connections.
 func (s *Server) streamInsert(w http.ResponseWriter, r *http.Request) {
-	enableFullDuplex(w)
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	n := 0
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	ndjsonStream(w, r, func(lines []string) []interface{} {
+		acks := make([]interface{}, len(lines))
+		for i, line := range lines {
+			var req insertRequest
+			if err := json.Unmarshal([]byte(line), &req); err != nil {
+				acks[i] = map[string]interface{}{"error": fmt.Sprintf("bad insert line: %v", err)}
+			} else if err := s.Insert(req.X, req.Label); err != nil {
+				acks[i] = map[string]interface{}{"error": err.Error()}
+			} else {
+				acks[i] = map[string]interface{}{"ok": true}
+			}
 		}
-		var req insertRequest
-		var ack map[string]interface{}
-		if err := json.Unmarshal([]byte(line), &req); err != nil {
-			ack = map[string]interface{}{"error": fmt.Sprintf("bad insert line: %v", err)}
-		} else if err := s.Insert(req.X, req.Label); err != nil {
-			ack = map[string]interface{}{"error": err.Error()}
-		} else {
-			ack = map[string]interface{}{"ok": true}
-		}
-		if err := enc.Encode(ack); err != nil {
-			return
-		}
-		n++
-		if n%streamWindow == 0 && flusher != nil {
-			flusher.Flush()
-		}
-	}
-	if err := sc.Err(); err != nil {
-		enc.Encode(map[string]interface{}{"error": fmt.Sprintf("request stream: %v", err)})
-	}
-	if flusher != nil {
-		flusher.Flush()
-	}
+		return acks
+	}, func(msg string) interface{} {
+		return map[string]interface{}{"error": msg}
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,26 +1,33 @@
-// Package server is the anytime classification serving subsystem: a
-// sharded set of multi-class Bayes trees behind per-shard reader/writer
-// locks, a global token-bucket admission controller that makes the
-// aggregate refinement work track a configured node-read capacity, and
-// an HTTP surface (/classify with single and NDJSON streaming forms,
-// /insert, /stats, /healthz) plus snapshot save/load for warm starts.
-// With decay configured (Config.Decay) the server also forgets: a
+// Package server is the anytime serving subsystem: a workload-agnostic
+// engine (per-shard reader/writer locks, a global token-bucket
+// admission controller that makes aggregate refinement work track a
+// configured node-read capacity, size-proportional budget splitting,
+// background decay maintenance and graceful draining — see engine.go)
+// instantiated for the paper's two anytime workloads. Server serves
+// multi-class Bayes tree classification over HTTP (/classify with
+// single and NDJSON streaming forms, /insert, /stats, /healthz);
+// ClusterServer serves the Section-4.2 anytime clustering extension
+// (/cluster, /microclusters, /macroclusters, /window, /stats,
+// /healthz). Both support snapshot save/load for warm starts.
+//
+// With decay configured (Config.Decay) the engine also forgets: a
 // background maintenance loop advances the decay epoch and sweeps the
 // shards — fading old mass by 2^(−λ·Δe), pruning what falls below the
 // weight floor — one short per-shard write-lock slice at a time, so a
 // long-running server stays bounded and tracks concept drift instead
-// of classifying yesterday's distribution forever.
+// of serving yesterday's distribution forever.
 //
 // Sharding model: observations are hash-partitioned across shards, each
-// shard holding an independent MultiTree over its partition. Because
+// shard holding an independent model over its partition. Because
 // cluster features are additive, the union model is exactly the
-// size-weighted mixture of the shard models, so a classification fans
-// out over all shards — splitting its granted node budget in proportion
-// to shard sizes — and combines the per-shard class scores with a
-// size-weighted log-sum-exp. Reads take the shard RLock, so any number
-// of classifications proceed concurrently; an insert write-locks only
-// the one shard that owns the point, leaving the other shards' read
-// capacity untouched.
+// combination of the shard models — for classification a classification
+// fans out over all shards, splitting its granted node budget in
+// proportion to shard sizes, and combines the per-shard class scores
+// with a size-weighted log-sum-exp; for clustering the union
+// micro-cluster set is the concatenation of the shard sets. Reads take
+// the shard RLock, so any number of reads proceed concurrently; an
+// insert write-locks only the one shard that owns the point, leaving
+// the other shards' read capacity untouched.
 package server
 
 import (
@@ -42,7 +49,8 @@ import (
 // leaves MaxBudget zero, bounding the work one request can demand.
 const DefaultMaxBudget = 1024
 
-// Config parameterises a Server.
+// Config parameterises a served workload — classification and
+// clustering share it (the clustering engine ignores Query).
 type Config struct {
 	// DefaultBudget is the node-read budget used when a request does not
 	// specify one (zero means 32).
@@ -57,7 +65,8 @@ type Config struct {
 	// max(NodesPerSecond, MaxBudget)).
 	Burst float64
 	// Query selects the descent strategy and priority used for every
-	// query (zero value = the paper's best: global probabilistic).
+	// classification query (zero value = the paper's best: global
+	// probabilistic). The clustering workload ignores it.
 	Query core.ClassifierOptions
 	// Decay configures exponential forgetting on every shard: Lambda is
 	// the per-epoch fade exponent (weights decay as 2^(−λ·Δe)) and
@@ -91,40 +100,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// shard is one partition of the model: a multi-class tree behind a
-// reader/writer lock.
-type shard struct {
-	mu   sync.RWMutex
-	tree *core.MultiTree
-}
-
-// Server is a sharded anytime classification server. All methods are
-// safe for concurrent use.
+// Server is the sharded anytime classification instantiation of the
+// engine. All methods are safe for concurrent use.
 type Server struct {
-	cfg      Config
-	shards   []*shard
-	labels   []int
-	dim      int
-	admit    *tokenBucket
-	start    time.Time
-	draining atomic.Bool
-
-	// decayOn is set when any shard forgets (via Config.Decay or a
-	// warm-started snapshot's own decay state); maintStop/maintDone
-	// bracket the background maintenance loop.
-	decayOn   bool
-	maintStop chan struct{}
-	maintDone chan struct{}
-	closeOnce sync.Once
-
-	requests       atomic.Int64
-	inserts        atomic.Int64
-	nodesRequested atomic.Int64
-	nodesGranted   atomic.Int64
-	nodesRead      atomic.Int64
-	decayEpoch     atomic.Int64
-	pointsPruned   atomic.Int64
-	subtreesPruned atomic.Int64
+	engine[*core.MultiTree]
+	labels []int
+	dim    int
 }
 
 // New builds a server over pre-built per-shard trees. All shards must
@@ -154,91 +135,11 @@ func New(trees []*core.MultiTree, cfg Config) (*Server, error) {
 			}
 		}
 	}
-	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, labels: labels, dim: dim, start: time.Now()}
-	for _, t := range trees {
-		s.shards = append(s.shards, &shard{tree: t})
-	}
-	if cfg.NodesPerSecond > 0 {
-		s.admit = newTokenBucket(cfg.NodesPerSecond, cfg.Burst)
-	}
-	if cfg.Decay.Enabled() {
-		for _, sh := range s.shards {
-			if err := sh.tree.EnableDecay(cfg.Decay); err != nil {
-				return nil, fmt.Errorf("server: %w", err)
-			}
-		}
-	}
-	for _, sh := range s.shards {
-		if sh.tree.DecayConfig().Enabled() {
-			s.decayOn = true
-		}
-		if e := sh.tree.Epoch(); e > s.decayEpoch.Load() {
-			s.decayEpoch.Store(e)
-		}
-	}
-	if s.decayOn && cfg.DecayEvery > 0 {
-		s.maintStop = make(chan struct{})
-		s.maintDone = make(chan struct{})
-		go s.maintain(cfg.DecayEvery)
+	s := &Server{labels: labels, dim: dim}
+	if err := s.init(trees, cfg, false); err != nil {
+		return nil, err
 	}
 	return s, nil
-}
-
-// maintain is the background maintenance loop: one decay epoch per
-// tick. Each tick takes the per-shard write locks one at a time in
-// short slices, so reads on the other shards keep flowing and reads on
-// the swept shard wait only for that shard's sweep.
-func (s *Server) maintain(every time.Duration) {
-	defer close(s.maintDone)
-	tick := time.NewTicker(every)
-	defer tick.Stop()
-	for {
-		select {
-		case <-s.maintStop:
-			return
-		case <-tick.C:
-			s.AdvanceDecay()
-		}
-	}
-}
-
-// AdvanceDecay advances the decay epoch by one on every shard and runs
-// the maintenance sweep — rescale, prune below the weight floor,
-// collapse underfull subtrees. It locks one shard at a time so
-// classification reads never wait on more than one shard's sweep. A
-// no-op (zero stats) when no shard decays.
-func (s *Server) AdvanceDecay() core.SweepStats {
-	var agg core.SweepStats
-	if !s.decayOn {
-		return agg
-	}
-	s.decayEpoch.Add(1)
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		sh.tree.AdvanceEpoch(1)
-		st := sh.tree.DecaySweep()
-		sh.mu.Unlock()
-		agg.PointsPruned += st.PointsPruned
-		agg.SubtreesPruned += st.SubtreesPruned
-		agg.SubtreesCollapsed += st.SubtreesCollapsed
-		agg.Reinserted += st.Reinserted
-	}
-	s.pointsPruned.Add(int64(agg.PointsPruned))
-	s.subtreesPruned.Add(int64(agg.SubtreesPruned))
-	return agg
-}
-
-// Close stops the background maintenance loop, if one is running. Safe
-// to call multiple times; the server still serves afterwards (only
-// maintenance stops).
-func (s *Server) Close() {
-	s.closeOnce.Do(func() {
-		if s.maintStop != nil {
-			close(s.maintStop)
-			<-s.maintDone
-		}
-	})
 }
 
 // NewEmpty builds a server of empty shards that learns purely online:
@@ -274,44 +175,16 @@ func FromSnapshot(r io.Reader, cfg Config) (*Server, error) {
 // It holds all shard read locks for the duration, so the snapshot is a
 // consistent cut: concurrent classifications proceed, inserts wait.
 func (s *Server) WriteSnapshot(w io.Writer) error {
-	trees := make([]*core.MultiTree, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		trees[i] = sh.tree
-	}
-	return persist.EncodeMultiTrees(w, trees)
+	return s.withAllRead(func(trees []*core.MultiTree) error {
+		return persist.EncodeMultiTrees(w, trees)
+	})
 }
-
-// NumShards returns the number of shards.
-func (s *Server) NumShards() int { return len(s.shards) }
 
 // Labels returns the class labels the server predicts.
 func (s *Server) Labels() []int { return append([]int(nil), s.labels...) }
 
 // Dim returns the dimensionality of served observations.
 func (s *Server) Dim() int { return s.dim }
-
-// Len returns the total number of observations across all shards.
-func (s *Server) Len() int {
-	total := 0
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		total += sh.tree.Len()
-		sh.mu.RUnlock()
-	}
-	return total
-}
-
-// SetDraining marks the server as draining (or not): /healthz starts
-// failing so load balancers stop routing here and newly arriving
-// classify/insert requests are rejected with 503. Requests already
-// being processed are unaffected — cmd/serveclass pairs this with
-// http.Server.Shutdown, which waits for them to finish.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
-
-// Draining reports whether the server is draining.
-func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Result is the outcome of one served classification.
 type Result struct {
@@ -325,26 +198,6 @@ type Result struct {
 	// NodesRead is the refinement work actually spent; it can fall short
 	// of Granted when the models exhaust early.
 	NodesRead int `json:"nodes_read"`
-}
-
-// clampBudget resolves a request-level budget against the configured
-// default and cap: 0 means the server default, negative means "as much
-// as allowed". This is the HTTP-facing convention; the stream.Engine
-// path uses capBudget instead, where 0 is a literal zero.
-func (s *Server) clampBudget(budget int) int {
-	if budget == 0 {
-		budget = s.cfg.DefaultBudget
-	}
-	return s.capBudget(budget)
-}
-
-// capBudget applies only the hard cap: negative and over-cap budgets
-// become MaxBudget, everything else — including 0 — is taken literally.
-func (s *Server) capBudget(budget int) int {
-	if budget < 0 || budget > s.cfg.MaxBudget {
-		budget = s.cfg.MaxBudget
-	}
-	return budget
 }
 
 // Classify serves one anytime classification: the requested budget is
@@ -367,49 +220,15 @@ func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
 	if len(x) != s.dim {
 		return Result{}, fmt.Errorf("server: point dim %d != model dim %d", len(x), s.dim)
 	}
-	granted := s.admit.take(requested)
-	s.requests.Add(1)
-	s.nodesRequested.Add(int64(requested))
-	s.nodesGranted.Add(int64(granted))
+	granted, finish := s.grant(requested)
 	read := 0
-	defer func() {
-		if granted > read {
-			s.admit.refund(granted - read)
-		}
-	}()
+	defer func() { finish(read) }()
 
-	sizes := make([]int, len(s.shards))
-	weights := make([]float64, len(s.shards))
-	total := 0
-	var totalW float64
-	for i, sh := range s.shards {
-		sh.mu.RLock()
-		sizes[i] = sh.tree.Len()
-		// Effective decayed mass; exactly float64(Len) for undecayed
-		// shards, so the λ = 0 mixture weights are digit-identical to
-		// the count-based ones.
-		weights[i] = sh.tree.Weight()
-		sh.mu.RUnlock()
-		total += sizes[i]
-		totalW += weights[i]
-	}
+	sizes, weights, total, totalW := s.sizesAndWeights()
 	if total == 0 || totalW <= 0 {
 		return Result{}, fmt.Errorf("server: no observations yet")
 	}
-
-	// Proportional budget split, remainder to the earliest shards.
-	budgets := make([]int, len(s.shards))
-	spent := 0
-	for i, n := range sizes {
-		budgets[i] = granted * n / total
-		spent += budgets[i]
-	}
-	for i := 0; spent < granted && i < len(budgets); i++ {
-		if sizes[i] > 0 {
-			budgets[i]++
-			spent++
-		}
-	}
+	budgets := splitBudget(granted, sizes, total)
 
 	combined := make([]float64, len(s.labels))
 	perClass := make([][]float64, len(s.labels))
@@ -452,7 +271,6 @@ func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
 			best = c
 		}
 	}
-	s.nodesRead.Add(int64(read))
 	return Result{Label: s.labels[best], Requested: requested, Granted: granted, NodesRead: read}, nil
 }
 
@@ -464,7 +282,7 @@ func (s *Server) Insert(x []float64, label int) error {
 	if len(x) != s.dim {
 		return fmt.Errorf("server: point dim %d != model dim %d", len(x), s.dim)
 	}
-	sh := s.shards[s.shardFor(x)]
+	sh := s.shards[shardIndex(x, len(s.shards))]
 	sh.mu.Lock()
 	err := sh.tree.Insert(x, label)
 	sh.mu.Unlock()
@@ -545,8 +363,10 @@ func runPool(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// shardFor hashes the observation's float bits to a shard index.
-func (s *Server) shardFor(x []float64) int {
+// shardIndex hashes an observation's float bits to a shard index — the
+// content-hash routing every workload shares, so a snapshot reloaded
+// into the same shard count routes identically.
+func shardIndex(x []float64, shards int) int {
 	h := fnv.New64a()
 	var b [8]byte
 	for _, v := range x {
@@ -556,10 +376,11 @@ func (s *Server) shardFor(x []float64) int {
 		}
 		h.Write(b[:])
 	}
-	return int(h.Sum64() % uint64(len(s.shards)))
+	return int(h.Sum64() % uint64(shards))
 }
 
-// Stats is a point-in-time summary of the server, served by /stats.
+// Stats is a point-in-time summary of a served workload, served by
+// /stats.
 type Stats struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	Shards         int     `json:"shards"`
@@ -590,29 +411,7 @@ type Stats struct {
 // load signal: it falls below 1 exactly when the admission controller
 // is coarsening answers to hold the node-read rate at capacity.
 func (s *Server) Stats() Stats {
-	st := Stats{
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Shards:         len(s.shards),
-		Labels:         s.Labels(),
-		Requests:       s.requests.Load(),
-		Inserts:        s.inserts.Load(),
-		NodesRequested: s.nodesRequested.Load(),
-		NodesGranted:   s.nodesGranted.Load(),
-		NodesRead:      s.nodesRead.Load(),
-		Draining:       s.draining.Load(),
-		DecayEnabled:   s.decayOn,
-		DecayEpoch:     s.decayEpoch.Load(),
-		PointsPruned:   s.pointsPruned.Load(),
-		SubtreesPruned: s.subtreesPruned.Load(),
-	}
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		n := sh.tree.Len()
-		st.Nodes += sh.tree.CountNodes()
-		st.Weight += sh.tree.Weight()
-		sh.mu.RUnlock()
-		st.ShardSizes = append(st.ShardSizes, n)
-		st.Observations += n
-	}
+	st := s.baseStats()
+	st.Labels = s.Labels()
 	return st
 }
