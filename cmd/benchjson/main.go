@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"bayestree/internal/clustree"
 	"bayestree/internal/core"
@@ -79,6 +80,17 @@ func main() {
 			run(fmt.Sprintf("cluster_ingest/shards=%d/budget=1", shards), benchIngest(shards, 1)))
 	}
 	rep.Benchmarks = append(rep.Benchmarks, run("cluster_microclusters", benchMicro()))
+	// WAL-on vs WAL-off ingest: the durability overhead of the write
+	// path, per workload. "wal=group" is the production mode (group
+	// commit, bounded power-loss window); "wal=fsync" pays a synchronous
+	// fsync per insert.
+	rep.Benchmarks = append(rep.Benchmarks,
+		run("server_insert/shards=4/wal=off", benchInsert(4, "off")),
+		run("server_insert/shards=4/wal=group", benchInsert(4, "group")),
+		run("server_insert/shards=4/wal=fsync", benchInsert(4, "fsync")),
+		run("cluster_ingest/shards=4/budget=8/wal=off", benchIngestWAL(4, 8, "off")),
+		run("cluster_ingest/shards=4/budget=8/wal=group", benchIngestWAL(4, 8, "group")),
+	)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -153,6 +165,88 @@ func benchIngest(shards, budget int) func(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			if _, err := cs.Insert(x, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// durableServer builds a classification server in mode "off" (memory
+// only), "group" (WAL, 100ms group commit) or "fsync" (WAL, fsync per
+// insert), recovered and ready to ingest.
+func durableServer(b *testing.B, shards int, mode string) *server.Server {
+	b.Helper()
+	bootstrap := func() (*server.Server, error) {
+		return server.NewEmpty(shards, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, server.Config{})
+	}
+	if mode == "off" {
+		s, err := bootstrap()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	dopts := server.DurabilityOptions{Dir: b.TempDir()}
+	if mode == "group" {
+		dopts.FsyncEvery = 100 * time.Millisecond
+	}
+	s, err := server.OpenDurableServer(dopts, server.Config{}, bootstrap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchInsert measures the classification ingest path with and without
+// the write-ahead log — the durability overhead record in
+// BENCH_serving.json.
+func benchInsert(shards int, mode string) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := durableServer(b, shards, mode)
+		defer s.CloseDurability()
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x, label := classPoint(rng)
+			if err := s.Insert(x, label); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchIngestWAL measures clustering ingest with and without the
+// write-ahead log.
+func benchIngestWAL(shards, budget int, mode string) func(b *testing.B) {
+	return func(b *testing.B) {
+		copts := server.ClusterOptions{SnapshotEvery: -1}
+		bootstrap := func() (*server.ClusterServer, error) {
+			return server.NewCluster(clustree.DefaultConfig(2), shards, server.Config{}, copts)
+		}
+		var cs *server.ClusterServer
+		var err error
+		if mode == "off" {
+			cs, err = bootstrap()
+		} else {
+			cs, err = server.OpenDurableCluster(
+				server.DurabilityOptions{Dir: b.TempDir(), FsyncEvery: 100 * time.Millisecond},
+				server.Config{}, copts, bootstrap)
+			if err == nil {
+				err = cs.Recover()
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cs.CloseDurability()
 		rng := rand.New(rand.NewSource(1))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -28,20 +28,17 @@
 package main
 
 import (
-	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"bayestree/internal/core"
 	"bayestree/internal/dataset"
 	"bayestree/internal/persist"
+	"bayestree/internal/serve"
 	"bayestree/internal/server"
 )
 
@@ -65,6 +62,8 @@ func main() {
 		decayL   = flag.Float64("decay-lambda", 0, "concept-drift forgetting rate λ: weights fade 2^(-λ) per decay epoch (0 = append-only, never forget)")
 		minW     = flag.Float64("min-weight", 0.05, "maintenance pruning floor: observations whose decayed weight falls below it are forgotten (with -decay-lambda > 0)")
 		decayDur = flag.Duration("decay-every", time.Minute, "wall-clock length of one decay epoch for the background maintenance sweep (with -decay-lambda > 0)")
+		walDir   = flag.String("wal-dir", "", "durability directory: per-shard write-ahead log + checkpoint snapshots; inserts survive crashes via snapshot+replay recovery")
+		fsyncDur = flag.Duration("fsync-every", 100*time.Millisecond, "WAL group-commit fsync interval; 0 fsyncs every insert (with -wal-dir)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -73,12 +72,15 @@ func main() {
 				"Model source: -snapshot (warm start) or -dataset (bootstrap); one is required.\n"+
 				"-decay-lambda enables exponential forgetting (concept-drift tracking with\n"+
 				"bounded memory); -decay-every sets the epoch length and -min-weight the\n"+
-				"maintenance sweep's pruning floor.\n\n"+
+				"maintenance sweep's pruning floor.\n"+
+				"-wal-dir makes ingest durable: every insert is appended to a per-shard\n"+
+				"write-ahead log (group-committed every -fsync-every), recovery replays the\n"+
+				"log tail over the latest checkpoint, and a drain checkpoints + truncates.\n\n"+
 				"Endpoints:\n"+
 				"  POST /classify   {\"x\":[...],\"budget\":25}; NDJSON body streams a batch\n"+
 				"  POST /insert     {\"x\":[...],\"label\":2}; NDJSON body bulk-ingests\n"+
-				"  GET  /stats      shard sizes and admission counters\n"+
-				"  GET  /healthz    200 ok, 503 while draining\n\nFlags:\n")
+				"  GET  /stats      shard sizes, admission and WAL counters\n"+
+				"  GET  /healthz    200 ok, 503 while recovering or draining\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -115,7 +117,32 @@ func main() {
 		usageErrorf("-decay-lambda must be ≥ 0, got %v", *decayL)
 	}
 
-	s, err := buildServer(*snapshot, *dsName, *scale, *seed, *shards, *pooled, *entropy, cfg)
+	bootstrap := func() (*server.Server, error) {
+		return buildServer(*snapshot, *dsName, *scale, *seed, *shards, *pooled, *entropy, cfg)
+	}
+	var s *server.Server
+	var err error
+	var recoverFn func() error
+	if *walDir != "" {
+		if *fsyncDur < 0 {
+			usageErrorf("-fsync-every must be ≥ 0, got %v", *fsyncDur)
+		}
+		dopts := server.DurabilityOptions{Dir: *walDir, FsyncEvery: *fsyncDur}
+		s, err = server.OpenDurableServer(dopts, cfg, bootstrap)
+		if err == nil {
+			recoverFn = func() error {
+				if err := s.Recover(); err != nil {
+					return err
+				}
+				st := s.Stats()
+				log.Printf("recovery complete: %d WAL records replayed (%d torn dropped), generation %d, %d observations",
+					st.WALReplayed, st.WALDroppedRecords, st.SnapshotGeneration, st.Observations)
+				return nil
+			}
+		}
+	} else {
+		s, err = bootstrap()
+	}
 	if err != nil {
 		var ue usageError
 		if errors.As(err, &ue) {
@@ -123,38 +150,50 @@ func main() {
 		}
 		log.Fatalf("serveclass: %v", err)
 	}
-	log.Printf("serving %d observations over %d shards on %s (default budget %d, admission %s, decay %s)",
-		s.Len(), s.NumShards(), *addr, *budget, admissionDesc(*nps), decayDesc(s, *decayL, *minW, *decayDur))
+	log.Printf("serving %d observations over %d shards on %s (default budget %d, admission %s, decay %s, wal %s)",
+		s.Len(), s.NumShards(), *addr, *budget, admissionDesc(*nps), decayDesc(s, *decayL, *minW, *decayDur), walDesc(*walDir, *fsyncDur))
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	err = serve.Run(serve.App{
+		Name:         "serveclass",
+		Addr:         *addr,
+		Handler:      s.Handler(),
+		DrainTimeout: *drain,
+		Recover:      recoverFn,
+		SetDraining:  s.SetDraining,
+		Close:        s.Close,
+		Persist: func() error {
+			if *walDir != "" {
+				if err := s.Checkpoint(); err != nil {
+					return err
+				}
+				if err := s.CloseDurability(); err != nil {
+					return err
+				}
+				log.Printf("final checkpoint written to %s (%d observations)", *walDir, s.Len())
+			}
+			if *snapshot != "" {
+				if err := saveSnapshot(s, *snapshot); err != nil {
+					return err
+				}
+				log.Printf("snapshot written to %s (%d observations)", *snapshot, s.Len())
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+}
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case err := <-errc:
-		log.Fatalf("serveclass: %v", err)
-	case sig := <-sigc:
-		log.Printf("received %v: draining (timeout %v)", sig, *drain)
+// walDesc describes the durability mode for the startup log line.
+func walDesc(dir string, fsyncEvery time.Duration) string {
+	if dir == "" {
+		return "off"
 	}
-
-	// Graceful drain: fail health checks first so load balancers stop
-	// routing here, then let in-flight requests finish, stop the decay
-	// maintenance loop, then persist.
-	s.SetDraining(true)
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("serveclass: drain: %v", err)
+	if fsyncEvery == 0 {
+		return fmt.Sprintf("%s (fsync per insert)", dir)
 	}
-	s.Close()
-	if *snapshot != "" {
-		if err := saveSnapshot(s, *snapshot); err != nil {
-			log.Fatalf("serveclass: %v", err)
-		}
-		log.Printf("snapshot written to %s (%d observations)", *snapshot, s.Len())
-	}
+	return fmt.Sprintf("%s (group commit %v)", dir, fsyncEvery)
 }
 
 // usageError marks configuration mistakes that should print usage and

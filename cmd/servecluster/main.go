@@ -23,19 +23,16 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"bayestree/internal/clustree"
 	"bayestree/internal/core"
 	"bayestree/internal/persist"
+	"bayestree/internal/serve"
 	"bayestree/internal/server"
 )
 
@@ -56,6 +53,8 @@ func main() {
 		alpha    = flag.Int("snap-alpha", 2, "pyramidal store base (granularity coarsens by this factor per order)")
 		snapCap  = flag.Int("snap-cap", 0, "pyramidal store per-order capacity (0 = alpha+1)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful drain timeout on SIGTERM/SIGINT")
+		walDir   = flag.String("wal-dir", "", "durability directory: per-shard write-ahead log + checkpoint snapshots; ingested objects survive crashes via snapshot+replay recovery")
+		fsyncDur = flag.Duration("fsync-every", 100*time.Millisecond, "WAL group-commit fsync interval; 0 fsyncs every ingest (with -wal-dir)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -66,7 +65,10 @@ func main() {
 				"under overload objects park in inner-node buffers and hitchhike leafward\n"+
 				"later, so the stream never backs up. -lambda sets exponential forgetting\n"+
 				"per stream object; the background sweep prunes micro-clusters below\n"+
-				"-min-weight every -decay-every.\n\n"+
+				"-min-weight every -decay-every. -wal-dir makes ingest durable: objects are\n"+
+				"appended to a per-shard write-ahead log (group-committed every\n"+
+				"-fsync-every) and recovery replays the log tail over the latest\n"+
+				"checkpoint.\n\n"+
 				"Examples:\n"+
 				"  servecluster -dim 2 -shards 4 -lambda 0.004\n"+
 				"  servecluster -snapshot clusters.btsn -nps 50000\n\n"+
@@ -111,41 +113,67 @@ func main() {
 		SnapshotEvery:    *snapN,
 	}
 
-	s, err := buildServer(*snapshot, *dim, *shards, cfg, copts)
+	bootstrap := func() (*server.ClusterServer, error) {
+		return buildServer(*snapshot, *dim, *shards, cfg, copts)
+	}
+	var s *server.ClusterServer
+	var err error
+	var recoverFn func() error
+	if *walDir != "" {
+		if *fsyncDur < 0 {
+			usageErrorf("-fsync-every must be ≥ 0, got %v", *fsyncDur)
+		}
+		dopts := server.DurabilityOptions{Dir: *walDir, FsyncEvery: *fsyncDur}
+		s, err = server.OpenDurableCluster(dopts, cfg, copts, bootstrap)
+		if err == nil {
+			recoverFn = func() error {
+				if err := s.Recover(); err != nil {
+					return err
+				}
+				st := s.Stats()
+				log.Printf("recovery complete: %d WAL records replayed (%d torn dropped), generation %d, clock %d",
+					st.WALReplayed, st.WALDroppedRecords, st.SnapshotGeneration, st.Clock)
+				return nil
+			}
+		}
+	} else {
+		s, err = bootstrap()
+	}
 	if err != nil {
 		log.Fatalf("servecluster: %v", err)
 	}
 	log.Printf("serving clustering over %d shards on %s (dim %d, default budget %d, λ=%g, clock %d)",
 		s.NumShards(), *addr, s.Dim(), *budget, *lambda, s.Clock())
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case err := <-errc:
-		log.Fatalf("servecluster: %v", err)
-	case sig := <-sigc:
-		log.Printf("received %v: draining (timeout %v)", sig, *drain)
-	}
-
-	// Graceful drain: fail health checks first so load balancers stop
-	// routing here, let in-flight requests finish, stop maintenance,
-	// then persist.
-	s.SetDraining(true)
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("servecluster: drain: %v", err)
-	}
-	s.Close()
-	if *snapshot != "" {
-		if err := persist.WriteFileAtomic(*snapshot, s.WriteSnapshot); err != nil {
-			log.Fatalf("servecluster: %v", err)
-		}
-		log.Printf("snapshot written to %s (clock %d)", *snapshot, s.Clock())
+	err = serve.Run(serve.App{
+		Name:         "servecluster",
+		Addr:         *addr,
+		Handler:      s.Handler(),
+		DrainTimeout: *drain,
+		Recover:      recoverFn,
+		SetDraining:  s.SetDraining,
+		Close:        s.Close,
+		Persist: func() error {
+			if *walDir != "" {
+				if err := s.Checkpoint(); err != nil {
+					return err
+				}
+				if err := s.CloseDurability(); err != nil {
+					return err
+				}
+				log.Printf("final checkpoint written to %s (clock %d)", *walDir, s.Clock())
+			}
+			if *snapshot != "" {
+				if err := persist.WriteFileAtomic(*snapshot, s.WriteSnapshot); err != nil {
+					return err
+				}
+				log.Printf("snapshot written to %s (clock %d)", *snapshot, s.Clock())
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatalf("%v", err)
 	}
 }
 

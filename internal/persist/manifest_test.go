@@ -1,0 +1,133 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := Manifest{Generation: 7, Snapshot: "snapshot-00000007.btsn", Shards: 3, ShardStart: []uint64{4, 9, 2}}
+	if err := SaveManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("LoadManifest = %v, ok=%v", err, ok)
+	}
+	if got.Generation != want.Generation || got.Snapshot != want.Snapshot || got.Shards != want.Shards {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i := range want.ShardStart {
+		if got.ShardStart[i] != want.ShardStart[i] {
+			t.Fatalf("shard start %d = %d, want %d", i, got.ShardStart[i], want.ShardStart[i])
+		}
+	}
+}
+
+func TestManifestAbsent(t *testing.T) {
+	_, ok, err := LoadManifest(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("empty dir reported a manifest")
+	}
+}
+
+func TestManifestCorruptAndInvalid(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest loaded")
+	}
+	for name, m := range map[string]Manifest{
+		"gen_without_snapshot": {Generation: 2, Shards: 1, ShardStart: []uint64{1}},
+		"path_snapshot":        {Generation: 1, Snapshot: "../evil.btsn", Shards: 1, ShardStart: []uint64{1}},
+		"zero_shards":          {Generation: 1, Snapshot: "s.btsn"},
+		"start_mismatch":       {Generation: 1, Snapshot: "s.btsn", Shards: 2, ShardStart: []uint64{1}},
+	} {
+		if err := SaveManifest(dir, m); err == nil {
+			t.Errorf("%s: invalid manifest saved", name)
+		}
+	}
+}
+
+// TestWriteFileAtomicErrorPathsCleanup is the temp-file audit: no error
+// path of an atomic write may strand a temporary file, and a failed
+// write must leave existing content untouched.
+func TestWriteFileAtomicErrorPathsCleanup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("original"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return fmt.Errorf("encode exploded")
+	}); err == nil {
+		t.Fatal("failed write reported success")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".bayestree-snap-") {
+			t.Fatalf("stranded temp file %s after failed write", e.Name())
+		}
+	}
+	content, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(content) != "original" {
+		t.Fatalf("failed write clobbered content: %q", content)
+	}
+}
+
+// TestRemoveStaleTemps sweeps the one case in-process cleanup cannot
+// reach: a crash between temp creation and rename.
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate the crash leftovers.
+	for i := 0; i < 3; i++ {
+		f, err := os.CreateTemp(dir, tempPattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	// An unrelated file must survive the sweep.
+	keep := filepath.Join(dir, "snapshot-00000001.btsn")
+	if err := os.WriteFile(keep, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveStaleTemps(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != filepath.Base(keep) {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("after sweep dir holds %v, want only %s", names, filepath.Base(keep))
+	}
+	// Missing dir is a no-op.
+	if err := RemoveStaleTemps(filepath.Join(dir, "nope")); err != nil {
+		t.Fatal(err)
+	}
+}

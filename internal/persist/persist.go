@@ -173,14 +173,21 @@ func DecodeMultiTrees(r io.Reader) ([]*core.MultiTree, error) {
 	return ts, nil
 }
 
+// tempPattern names the temporary files WriteFileAtomic stages renames
+// through; RemoveStaleTemps sweeps strays matching it.
+const tempPattern = ".bayestree-snap-*"
+
 // WriteFileAtomic writes a snapshot to path durably and atomically:
 // write is run against a temporary file in path's directory, the file
 // is fsynced and renamed into place, and the directory is fsynced so
 // the rename itself survives a crash. Either the old content or the
 // complete new content is at path afterwards — never a torn snapshot.
+// Every error path removes the temporary file (the deferred remove is a
+// no-op only after the successful rename); temp files stranded by a
+// crash mid-write are swept by RemoveStaleTemps on the next startup.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".bayestree-snap-*")
+	tmp, err := os.CreateTemp(dir, tempPattern)
 	if err != nil {
 		return fmt.Errorf("persist: write %s: %w", path, err)
 	}
@@ -224,6 +231,24 @@ func unsupportedSyncError(err error) bool {
 	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
 }
 
+// RemoveStaleTemps deletes temporary files a crashed WriteFileAtomic
+// left behind in dir (a crash between create and rename strands one —
+// the in-process error paths clean up after themselves). Call it on
+// startup before writing new state; a missing dir is a no-op.
+func RemoveStaleTemps(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, tempPattern))
+	if err != nil {
+		return fmt.Errorf("persist: sweep temps %s: %w", dir, err)
+	}
+	var first error
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil && !os.IsNotExist(err) && first == nil {
+			first = fmt.Errorf("persist: sweep temps: %w", err)
+		}
+	}
+	return first
+}
+
 // ---------------------------------------------------------------------
 // encoder
 
@@ -245,7 +270,7 @@ func newEncoderVersion(kind byte, version uint32) *encoder {
 	return e
 }
 
-func (e *encoder) u8(v uint8)  { e.buf.WriteByte(v) }
+func (e *encoder) u8(v uint8) { e.buf.WriteByte(v) }
 func (e *encoder) boolv(v bool) {
 	if v {
 		e.u8(1)

@@ -1,0 +1,109 @@
+// Package serve is the shared lifecycle runner of the serving
+// commands: it owns the boilerplate that serveclass and servecluster
+// previously each carried a copy of — start the HTTP server, run WAL
+// recovery in the background while /healthz reports 503, wait for
+// SIGTERM/SIGINT, drain gracefully (fail health checks, let in-flight
+// requests finish, stop maintenance) and persist the model on the way
+// out.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// App describes one serving process. Only Addr and Handler are
+// required; nil hooks are skipped.
+type App struct {
+	// Name prefixes log lines and error messages (the command name).
+	Name string
+	// Addr is the HTTP listen address.
+	Addr string
+	// Handler serves the workload's endpoints.
+	Handler http.Handler
+	// DrainTimeout bounds the graceful drain on SIGTERM/SIGINT.
+	DrainTimeout time.Duration
+	// Recover, when set, runs after the listener starts — WAL replay
+	// happens while /healthz already answers (503), so load balancers
+	// see the instance come up without routing traffic to it early. A
+	// recovery error shuts the process down.
+	Recover func() error
+	// SetDraining flips the workload's draining state so health checks
+	// fail before in-flight requests are cut off.
+	SetDraining func(bool)
+	// Close stops background maintenance once the listener has drained.
+	Close func()
+	// Persist writes the model back out after the drain — the final
+	// checkpoint (WAL truncation) and/or the legacy snapshot file.
+	Persist func() error
+}
+
+// Run drives the app's lifecycle and returns when the process should
+// exit: nil after a clean signal-triggered drain, an error when the
+// listener, recovery, or the final persist failed.
+func Run(a App) error {
+	httpSrv := &http.Server{Addr: a.Addr, Handler: a.Handler}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	recc := make(chan error, 1)
+	recovered := a.Recover == nil
+	if !recovered {
+		go func() { recc <- a.Recover() }()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+
+	draining := false
+	for !draining {
+		select {
+		case err := <-errc:
+			return fmt.Errorf("%s: %w", a.Name, err)
+		case err := <-recc:
+			if err != nil {
+				return fmt.Errorf("%s: recovery: %w", a.Name, err)
+			}
+			recovered = true
+		case sig := <-sigc:
+			log.Printf("received %v: draining (timeout %v)", sig, a.DrainTimeout)
+			draining = true
+		}
+	}
+
+	// Graceful drain: fail health checks first so load balancers stop
+	// routing here, then let in-flight requests finish, stop background
+	// maintenance, then persist.
+	if a.SetDraining != nil {
+		a.SetDraining(true)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), a.DrainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("%s: drain: %v", a.Name, err)
+	}
+	// A signal that landed mid-recovery waits for replay to settle —
+	// persisting a half-replayed model would lose the unreplayed tail's
+	// WAL coverage on the next checkpoint.
+	if !recovered {
+		if err := <-recc; err != nil {
+			return fmt.Errorf("%s: recovery: %w", a.Name, err)
+		}
+	}
+	if a.Close != nil {
+		a.Close()
+	}
+	if a.Persist != nil {
+		if err := a.Persist(); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return nil
+}

@@ -212,15 +212,21 @@ func ClusterFromSnapshot(r io.Reader, cfg Config, copts ClusterOptions) (*Cluste
 // for the duration, so the snapshot is a consistent cut.
 func (s *ClusterServer) WriteSnapshot(w io.Writer) error {
 	return s.withAllRead(func(models []*ctree) error {
-		trees := make([]*clustree.Tree, len(models))
-		for i, m := range models {
-			trees[i] = m.t
-		}
-		s.snapMu.Lock()
-		defer s.snapMu.Unlock()
-		return persist.EncodeClusterSet(w, persist.ClusterSet{
-			Trees: trees, Store: s.store, Clock: s.clock.Load(),
-		})
+		return s.encodeSet(w, models)
+	})
+}
+
+// encodeSet encodes the full server state; callers hold all shard
+// locks (WriteSnapshot's cut, or the checkpoint path's).
+func (s *ClusterServer) encodeSet(w io.Writer, models []*ctree) error {
+	trees := make([]*clustree.Tree, len(models))
+	for i, m := range models {
+		trees[i] = m.t
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return persist.EncodeClusterSet(w, persist.ClusterSet{
+		Trees: trees, Store: s.store, Clock: s.clock.Load(),
 	})
 }
 
@@ -263,16 +269,31 @@ func (s *ClusterServer) Insert(x []float64, budget int) (ClusterResult, error) {
 }
 
 // insertResolved is Insert after budget resolution; unspent grant is
-// refunded so early leaf arrival does not eat configured capacity.
+// refunded so early leaf arrival does not eat configured capacity. On
+// a durable server the record — timestamp, granted budget, point: the
+// inputs that make the descent deterministic — is appended to the
+// shard's write-ahead log under the same lock before the apply.
 func (s *ClusterServer) insertResolved(x []float64, requested int) (ClusterResult, error) {
 	if len(x) != s.ccfg.Dim {
 		return ClusterResult{}, fmt.Errorf("server: point dim %d != model dim %d", len(x), s.ccfg.Dim)
+	}
+	if s.Recovering() {
+		return ClusterResult{}, errRecovering
 	}
 	granted, finish := s.grant(requested)
 	idx := shardIndex(x, len(s.shards))
 	sh := s.shards[idx]
 	sh.mu.Lock()
 	ts := s.clock.Add(1)
+	if s.durableOn() {
+		if err := s.logAppend(idx, encodeClusterRecord(ts, granted, x)); err != nil {
+			// The clock tick is not rolled back: per-shard timestamps stay
+			// strictly increasing, a skipped tick is harmless.
+			sh.mu.Unlock()
+			finish(0)
+			return ClusterResult{}, fmt.Errorf("server: wal: %w", err)
+		}
+	}
 	parkedBefore := sh.tree.t.Parked()
 	visited, err := sh.tree.t.InsertCounted(x, float64(ts), granted)
 	parked := sh.tree.t.Parked() > parkedBefore

@@ -69,6 +69,10 @@ func (s *ClusterServer) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.Recovering() {
+		writeError(w, http.StatusServiceUnavailable, "recovering: WAL replay in progress")
+		return
+	}
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
@@ -219,6 +223,12 @@ func (s *ClusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *ClusterServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Recovery fails health checks so load balancers keep routing
+	// elsewhere until WAL replay has rebuilt the model.
+	if s.Recovering() {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+		return
+	}
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return

@@ -1,0 +1,637 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"bayestree/internal/core"
+	"bayestree/internal/persist"
+	"bayestree/internal/wal"
+)
+
+// This file is the durability layer threaded through the generic
+// engine: every logged workload gets crash-safe ingest from the same
+// machinery. The write path appends a workload-encoded record to the
+// owning shard's write-ahead log under the shard write lock (log
+// before apply, pre-validated so the apply cannot fail), recovery is
+// load-latest-snapshot + replay-WAL-tail, and a checkpoint is
+// rotate-all-logs + snapshot + manifest + truncate — each step ordered
+// so that a crash at any instant leaves the manifest naming a complete
+// (snapshot, WAL-start) pair:
+//
+//	rotate (under all shard locks)   — new segments begin
+//	snapshot (same consistent cut)   — atomic via WriteFileAtomic
+//	manifest                         — atomic; the commit point
+//	truncate + old-snapshot removal  — pure garbage collection
+//
+// A crash before the manifest write replays from the previous pair
+// (the rotated segments are still listed); after it, from the new one.
+//
+// Records are replayed digit-identically: the classification record
+// carries (label, x) — shard routing is content-hashed, so per-shard
+// replay reproduces the exact insert sequence — and the clustering
+// record carries (timestamp, granted budget, x), because a ClusTree
+// descent is deterministic given those; cluster replay merges the
+// per-shard logs by timestamp to reproduce the global logical clock.
+
+// DurabilityOptions configure the write-ahead log + checkpoint layer a
+// served workload can run over.
+type DurabilityOptions struct {
+	// Dir is the durability root: the MANIFEST, snapshot-<generation>
+	// files and per-shard WAL segment directories live here.
+	Dir string
+	// FsyncEvery is the WAL group-commit interval: 0 fsyncs inline on
+	// every append, > 0 commits every append of the interval with one
+	// background fsync (the interval bounds power-loss exposure; a
+	// process crash loses nothing either way).
+	FsyncEvery time.Duration
+	// SegmentBytes rotates WAL segments at this size (0 = wal default).
+	SegmentBytes int64
+}
+
+// errRecovering rejects writes while WAL replay is rebuilding the
+// model; the HTTP layer maps it to 503.
+var errRecovering = fmt.Errorf("server: recovering (WAL replay in progress)")
+
+// durState is the engine's durability state: the logs, the manifest
+// they continue, and the recovery/replay accounting.
+type durState struct {
+	opts     DurabilityOptions
+	manifest persist.Manifest
+	hadState bool
+	// lock is the flock-held LOCK file that makes the durability
+	// directory single-writer; the kernel releases it on any process
+	// death.
+	lock *os.File
+	// logs is nil until recovery completes; writes are rejected before
+	// that (replay applies records directly).
+	logs []*wal.Log
+	// ckptMu serializes checkpoints (each bumps the generation) and
+	// guards manifest.
+	ckptMu     sync.Mutex
+	recovering atomic.Bool
+	replayed   atomic.Int64
+	dropped    atomic.Int64
+}
+
+// shardWALDir names shard i's segment directory under the durability
+// root.
+func shardWALDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// snapshotName names the checkpoint snapshot for a generation.
+func snapshotName(gen uint64) string {
+	return fmt.Sprintf("snapshot-%08d.btsn", gen)
+}
+
+// durOpen is what opening a durability directory yields: the manifest
+// (if any) and the held directory lock.
+type durOpen struct {
+	manifest persist.Manifest
+	hadState bool
+	lock     *os.File
+}
+
+// attachDurability arms the engine's durability state: the server is
+// "recovering" (writes rejected, /healthz 503) until Recover replays
+// the WAL tail and opens the logs.
+func (e *engine[M]) attachDurability(opts DurabilityOptions, do durOpen) {
+	e.dur = &durState{opts: opts, manifest: do.manifest, hadState: do.hadState, lock: do.lock}
+	e.dur.recovering.Store(true)
+}
+
+// Recovering reports whether the engine is still replaying its WAL —
+// writes are rejected and /healthz fails until it completes.
+func (e *engine[M]) Recovering() bool {
+	return e.dur != nil && e.dur.recovering.Load()
+}
+
+// durableOn reports whether inserts must be logged: durability is
+// configured and recovery has opened the logs.
+func (e *engine[M]) durableOn() bool {
+	return e.dur != nil && e.dur.logs != nil
+}
+
+// logAppend appends a record to shard idx's WAL. Callers hold the shard
+// write lock, so the per-shard log order is exactly the apply order.
+func (e *engine[M]) logAppend(idx int, payload []byte) error {
+	return e.dur.logs[idx].Append(payload)
+}
+
+// shardLogStart is the first WAL segment shard i's replay must read.
+func (e *engine[M]) shardLogStart(i int) uint64 {
+	d := e.dur
+	if d.hadState && i < len(d.manifest.ShardStart) {
+		return d.manifest.ShardStart[i]
+	}
+	return 1
+}
+
+// openLogs opens every shard's WAL for appending (repairing torn tails,
+// starting fresh segments) — the hand-off from replay to serving.
+func (e *engine[M]) openLogs() error {
+	d := e.dur
+	logs := make([]*wal.Log, len(e.shards))
+	for i := range e.shards {
+		lg, err := wal.Open(shardWALDir(d.opts.Dir, i), wal.Options{
+			SegmentBytes: d.opts.SegmentBytes, FsyncEvery: d.opts.FsyncEvery,
+		})
+		if err != nil {
+			for _, open := range logs[:i] {
+				open.Close()
+			}
+			return fmt.Errorf("server: wal shard %d: %w", i, err)
+		}
+		logs[i] = lg
+	}
+	d.logs = logs
+	return nil
+}
+
+// finishRecovery flips the engine into serving mode; openLogs must have
+// succeeded first.
+func (e *engine[M]) finishRecovery() { e.dur.recovering.Store(false) }
+
+// checkpoint writes a new snapshot generation and truncates the WAL
+// behind it: rotate every shard's log under all shard locks (the same
+// consistent cut the snapshot sees), write the snapshot atomically,
+// commit the new manifest, then garbage-collect the old segments and
+// snapshot. Crash-safe at every step — the manifest write is the commit
+// point.
+func (e *engine[M]) checkpoint(encode func(io.Writer, []M) error) error {
+	d := e.dur
+	if d == nil {
+		return fmt.Errorf("server: durability not configured")
+	}
+	if d.logs == nil {
+		return errRecovering
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	gen := d.manifest.Generation + 1
+	name := snapshotName(gen)
+	starts := make([]uint64, len(d.logs))
+	err := e.withAllRead(func(models []M) error {
+		for i, lg := range d.logs {
+			seg, err := lg.Rotate()
+			if err != nil {
+				return fmt.Errorf("server: wal rotate shard %d: %w", i, err)
+			}
+			starts[i] = seg
+		}
+		return persist.WriteFileAtomic(filepath.Join(d.opts.Dir, name), func(w io.Writer) error {
+			return encode(w, models)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	prev := d.manifest
+	m := persist.Manifest{Generation: gen, Snapshot: name, Shards: len(d.logs), ShardStart: starts}
+	if err := persist.SaveManifest(d.opts.Dir, m); err != nil {
+		return err
+	}
+	d.manifest = m
+	d.hadState = true
+	// Everything below the new starts is folded into the snapshot;
+	// removal is garbage collection, best-effort by design.
+	for i, lg := range d.logs {
+		lg.RemoveBefore(starts[i])
+	}
+	if prev.Snapshot != "" && prev.Snapshot != name {
+		os.Remove(filepath.Join(d.opts.Dir, prev.Snapshot))
+	}
+	return nil
+}
+
+// Generation returns the current snapshot generation (0 before the
+// first checkpoint, or when durability is off).
+func (e *engine[M]) Generation() uint64 {
+	if e.dur == nil {
+		return 0
+	}
+	d := e.dur
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	return d.manifest.Generation
+}
+
+// CloseDurability syncs and closes every shard's WAL and releases the
+// directory lock. Inserts after it fail; call it after the final drain
+// checkpoint.
+func (e *engine[M]) CloseDurability() error {
+	if e.dur == nil {
+		return nil
+	}
+	var first error
+	for _, lg := range e.dur.logs {
+		if err := lg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if e.dur.lock != nil {
+		if err := e.dur.lock.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// durStats folds the durability counters into a Stats summary.
+func (e *engine[M]) durStats(st *Stats) {
+	d := e.dur
+	if d == nil {
+		return
+	}
+	st.WALEnabled = true
+	st.Recovering = d.recovering.Load()
+	st.WALReplayed = d.replayed.Load()
+	st.WALDroppedRecords = d.dropped.Load()
+	// d.logs is assigned once, before recovering flips false; reading it
+	// only after observing !recovering rides that atomic's
+	// happens-before edge, so /stats during background replay cannot
+	// race the assignment.
+	if !st.Recovering && d.logs != nil {
+		for _, lg := range d.logs {
+			ls := lg.Stats()
+			st.WALAppends += ls.Appends
+			st.WALSyncs += ls.Syncs
+			st.WALBytes += ls.Bytes
+		}
+	}
+	st.SnapshotGeneration = e.Generation()
+}
+
+// ---------------------------------------------------------------------
+// record codecs
+
+// encodeClassRecord frames one classification insert: label then the
+// point, all little-endian 64-bit.
+func encodeClassRecord(label int, x []float64) []byte {
+	b := make([]byte, 8+8*len(x))
+	binary.LittleEndian.PutUint64(b[0:8], uint64(int64(label)))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(b[8+8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// decodeClassRecord is the inverse of encodeClassRecord.
+func decodeClassRecord(dim int, p []byte) (label int, x []float64, err error) {
+	if len(p) != 8+8*dim {
+		return 0, nil, fmt.Errorf("server: class record %d bytes, want %d", len(p), 8+8*dim)
+	}
+	label = int(int64(binary.LittleEndian.Uint64(p[0:8])))
+	x = make([]float64, dim)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8+8*i:]))
+	}
+	return label, x, nil
+}
+
+// encodeClusterRecord frames one clustering ingest: the logical
+// timestamp and granted descent budget — the two inputs besides the
+// point that make a ClusTree descent deterministic — then the point.
+func encodeClusterRecord(ts int64, granted int, x []float64) []byte {
+	b := make([]byte, 16+8*len(x))
+	binary.LittleEndian.PutUint64(b[0:8], uint64(ts))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(int64(granted)))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(b[16+8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// decodeClusterRecord is the inverse of encodeClusterRecord.
+func decodeClusterRecord(dim int, p []byte) (ts int64, granted int, x []float64, err error) {
+	if len(p) != 16+8*dim {
+		return 0, 0, nil, fmt.Errorf("server: cluster record %d bytes, want %d", len(p), 16+8*dim)
+	}
+	ts = int64(binary.LittleEndian.Uint64(p[0:8]))
+	granted = int(int64(binary.LittleEndian.Uint64(p[8:16])))
+	x = make([]float64, dim)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[16+8*i:]))
+	}
+	return ts, granted, x, nil
+}
+
+// ---------------------------------------------------------------------
+// classification workload
+
+// OpenDurableServer opens (or creates) the durable classification state
+// at dopts.Dir: when a manifest exists its snapshot generation is
+// loaded and bootstrap is not called; otherwise bootstrap supplies the
+// initial server (empty shards, a data set, or a legacy snapshot file).
+// The returned server is recovering — /healthz fails and writes are
+// rejected — until Recover replays the WAL tail. The directory is
+// locked (flock) for the life of the server, so a second process
+// pointed at the same -wal-dir fails here instead of truncating live
+// segments out from under the first.
+func OpenDurableServer(dopts DurabilityOptions, cfg Config, bootstrap func() (*Server, error)) (*Server, error) {
+	s, do, err := openDurable(dopts, func(r io.Reader) (*Server, error) {
+		return FromSnapshot(r, cfg)
+	}, bootstrap)
+	if err != nil {
+		return nil, err
+	}
+	s.attachDurability(dopts, do)
+	return s, nil
+}
+
+// openDurable is the open sequence both workloads share: lock + sweep
+// the directory, load the manifest, decode its checkpoint snapshot (or
+// bootstrap a fresh model), and check the shard layout. On error the
+// directory lock is released.
+func openDurable[S interface {
+	comparable
+	NumShards() int
+}](dopts DurabilityOptions, decode func(io.Reader) (S, error), bootstrap func() (S, error)) (S, durOpen, error) {
+	var zero S
+	do, err := openDurableDir(dopts)
+	if err != nil {
+		return zero, do, err
+	}
+	fail := func(err error) (S, durOpen, error) {
+		do.lock.Close()
+		return zero, durOpen{}, err
+	}
+	var s S
+	if do.hadState && do.manifest.Snapshot != "" {
+		f, err := os.Open(filepath.Join(dopts.Dir, do.manifest.Snapshot))
+		if err != nil {
+			return fail(fmt.Errorf("server: checkpoint snapshot: %w", err))
+		}
+		s, err = decode(f)
+		f.Close()
+		if err != nil {
+			return fail(fmt.Errorf("server: checkpoint snapshot %s: %w", do.manifest.Snapshot, err))
+		}
+	} else {
+		if s, err = bootstrap(); err != nil {
+			return fail(err)
+		}
+		if s == zero {
+			return fail(fmt.Errorf("server: nil bootstrap server"))
+		}
+	}
+	if do.hadState && do.manifest.Shards != s.NumShards() {
+		return fail(fmt.Errorf("server: manifest has %d shards, model has %d", do.manifest.Shards, s.NumShards()))
+	}
+	return s, do, nil
+}
+
+// openDurableDir validates the options, creates and exclusively locks
+// the root directory, sweeps stale temp files and loads the manifest.
+func openDurableDir(dopts DurabilityOptions) (durOpen, error) {
+	if dopts.Dir == "" {
+		return durOpen{}, fmt.Errorf("server: durability dir required")
+	}
+	if err := os.MkdirAll(dopts.Dir, 0o755); err != nil {
+		return durOpen{}, fmt.Errorf("server: %w", err)
+	}
+	lock, err := lockDir(dopts.Dir)
+	if err != nil {
+		return durOpen{}, err
+	}
+	// Sweep temp files a crash mid-checkpoint stranded before staging
+	// new ones through the same directory.
+	if err := persist.RemoveStaleTemps(dopts.Dir); err != nil {
+		lock.Close()
+		return durOpen{}, err
+	}
+	m, had, err := persist.LoadManifest(dopts.Dir)
+	if err != nil {
+		lock.Close()
+		return durOpen{}, err
+	}
+	return durOpen{manifest: m, hadState: had, lock: lock}, nil
+}
+
+// lockDir takes a non-blocking exclusive flock on dir/LOCK — the
+// single-writer guarantee of a durability directory. The kernel drops
+// the lock whenever the holding process dies, so a crashed server
+// never wedges its own restart.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: lock %s: %w", dir, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("server: durability dir %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// Recover replays the WAL tail into the shard trees, opens the logs for
+// appending and — when anything was replayed or this is a fresh
+// directory — folds the result into a new checkpoint, so the next
+// restart replays from a short log. Idempotent once recovered.
+func (s *Server) Recover() error {
+	d := s.dur
+	if d == nil {
+		return fmt.Errorf("server: durability not configured")
+	}
+	if !d.recovering.Load() {
+		return nil
+	}
+	for i, sh := range s.shards {
+		r, err := wal.OpenReader(shardWALDir(d.opts.Dir, i), s.shardLogStart(i))
+		if err != nil {
+			return fmt.Errorf("server: wal shard %d: %w", i, err)
+		}
+		err = func() error {
+			defer r.Close()
+			for {
+				payload, err := r.Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				label, x, err := decodeClassRecord(s.dim, payload)
+				if err != nil {
+					return err
+				}
+				// The shard lock keeps replay exclusive against a running
+				// decay-maintenance loop.
+				sh.mu.Lock()
+				err = sh.tree.Insert(x, label)
+				sh.mu.Unlock()
+				if err != nil {
+					return fmt.Errorf("replay: %w", err)
+				}
+				d.replayed.Add(1)
+			}
+		}()
+		if err != nil {
+			return fmt.Errorf("server: wal shard %d: %w", i, err)
+		}
+		d.dropped.Add(int64(r.Dropped()))
+	}
+	if err := s.openLogs(); err != nil {
+		return err
+	}
+	s.finishRecovery()
+	if !d.hadState || d.replayed.Load() > 0 || d.dropped.Load() > 0 {
+		return s.Checkpoint()
+	}
+	return nil
+}
+
+// Checkpoint writes a new snapshot generation and truncates the WAL
+// behind it — the durable form of WriteSnapshot. The serving commands
+// run it on drain; long-lived deployments can also call it
+// periodically to bound replay time.
+func (s *Server) Checkpoint() error {
+	return s.checkpoint(func(w io.Writer, trees []*core.MultiTree) error {
+		return persist.EncodeMultiTrees(w, trees)
+	})
+}
+
+// knownLabel reports whether the server predicts this class — the
+// pre-validation that keeps the WAL free of records whose apply would
+// fail.
+func (s *Server) knownLabel(label int) bool {
+	for _, l := range s.labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// clustering workload
+
+// OpenDurableCluster is OpenDurableServer for the clustering workload:
+// manifest + checkpoint snapshot win, otherwise bootstrap supplies the
+// initial server. The result is recovering until Recover completes.
+func OpenDurableCluster(dopts DurabilityOptions, cfg Config, copts ClusterOptions, bootstrap func() (*ClusterServer, error)) (*ClusterServer, error) {
+	s, do, err := openDurable(dopts, func(r io.Reader) (*ClusterServer, error) {
+		return ClusterFromSnapshot(r, cfg, copts)
+	}, bootstrap)
+	if err != nil {
+		return nil, err
+	}
+	s.attachDurability(dopts, do)
+	return s, nil
+}
+
+// clusterReplayHead is one shard's next pending record during the
+// timestamp merge.
+type clusterReplayHead struct {
+	ts      int64
+	granted int
+	x       []float64
+}
+
+// Recover replays the WAL tail into the shard trees. The per-shard logs
+// are merged by logical timestamp so the global clock — and the
+// pyramidal store's recording boundaries — advance exactly as they did
+// in the original run, then the logs open for appending and the result
+// is folded into a new checkpoint. Idempotent once recovered.
+func (s *ClusterServer) Recover() error {
+	d := s.dur
+	if d == nil {
+		return fmt.Errorf("server: durability not configured")
+	}
+	if !d.recovering.Load() {
+		return nil
+	}
+	readers := make([]*wal.Reader, len(s.shards))
+	heads := make([]*clusterReplayHead, len(s.shards))
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	advance := func(i int) error {
+		heads[i] = nil
+		payload, err := readers[i].Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("server: wal shard %d: %w", i, err)
+		}
+		ts, granted, x, err := decodeClusterRecord(s.ccfg.Dim, payload)
+		if err != nil {
+			return fmt.Errorf("server: wal shard %d: %w", i, err)
+		}
+		heads[i] = &clusterReplayHead{ts: ts, granted: granted, x: x}
+		return nil
+	}
+	for i := range s.shards {
+		r, err := wal.OpenReader(shardWALDir(d.opts.Dir, i), s.shardLogStart(i))
+		if err != nil {
+			return fmt.Errorf("server: wal shard %d: %w", i, err)
+		}
+		readers[i] = r
+		if err := advance(i); err != nil {
+			return err
+		}
+	}
+	for {
+		best := -1
+		for i, h := range heads {
+			if h != nil && (best < 0 || h.ts < heads[best].ts) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		h := heads[best]
+		sh := s.shards[best]
+		// The shard lock keeps replay exclusive against a running decay-
+		// maintenance loop.
+		sh.mu.Lock()
+		if h.ts > s.clock.Load() {
+			s.clock.Store(h.ts)
+		}
+		_, err := sh.tree.t.InsertCounted(h.x, float64(h.ts), h.granted)
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("server: replay shard %d: %w", best, err)
+		}
+		d.replayed.Add(1)
+		s.maybeRecord(h.ts)
+		if err := advance(best); err != nil {
+			return err
+		}
+	}
+	for i, r := range readers {
+		d.dropped.Add(int64(r.Dropped()))
+		readers[i] = nil
+		r.Close()
+	}
+	if err := s.openLogs(); err != nil {
+		return err
+	}
+	s.finishRecovery()
+	if !d.hadState || d.replayed.Load() > 0 || d.dropped.Load() > 0 {
+		return s.Checkpoint()
+	}
+	return nil
+}
+
+// Checkpoint writes a new snapshot generation (trees, pyramidal store,
+// clock) and truncates the WAL behind it — the durable form of
+// WriteSnapshot.
+func (s *ClusterServer) Checkpoint() error {
+	return s.checkpoint(s.encodeSet)
+}

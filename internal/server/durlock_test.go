@@ -1,0 +1,45 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"bayestree/internal/core"
+)
+
+// TestDurableDirSingleWriter: the durability directory is flock-held
+// for the life of the server, so a second open of the same -wal-dir
+// fails loudly instead of repairing (truncating) live segments out
+// from under the first process. The lock dies with the process, so a
+// crash never wedges the restart — crash() in the recovery tests
+// releases it exactly as the kernel would.
+func TestDurableDirSingleWriter(t *testing.T) {
+	dir := t.TempDir()
+	bootstrap := func() (*Server, error) {
+		return NewEmpty(1, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, Config{})
+	}
+	a, err := OpenDurableServer(DurabilityOptions{Dir: dir}, Config{}, bootstrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurableServer(DurabilityOptions{Dir: dir}, Config{}, bootstrap); err == nil {
+		t.Fatal("second open of a held durability dir succeeded")
+	} else if !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("second open failed with %v, want an in-use error", err)
+	}
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	// Released on close: the directory opens again.
+	b, err := OpenDurableServer(DurabilityOptions{Dir: dir}, Config{}, bootstrap)
+	if err != nil {
+		t.Fatalf("reopen after CloseDurability: %v", err)
+	}
+	if err := b.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	b.CloseDurability()
+}

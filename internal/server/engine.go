@@ -76,6 +76,10 @@ type engine[M Model] struct {
 	// applied decay): their "read" paths take the shard write lock.
 	exclusive bool
 
+	// dur is the durability layer (write-ahead log + checkpoints), nil
+	// when the workload runs memory-only. See durable.go.
+	dur *durState
+
 	// decayOn is set when any shard forgets (via Config.Decay or a
 	// warm-started snapshot's own decay state); maintStop/maintDone
 	// bracket the background maintenance loop.
@@ -355,5 +359,6 @@ func (e *engine[M]) baseStats() Stats {
 		st.ShardSizes = append(st.ShardSizes, n)
 		st.Observations += n
 	}
+	e.durStats(&st)
 	return st
 }

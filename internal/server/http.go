@@ -205,6 +205,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.Recovering() {
+		writeError(w, http.StatusServiceUnavailable, "recovering: WAL replay in progress")
+		return
+	}
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
@@ -258,6 +262,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Recovery fails health checks so load balancers keep routing
+	// elsewhere until WAL replay has rebuilt the model.
+	if s.Recovering() {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+		return
+	}
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return

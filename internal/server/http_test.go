@@ -51,8 +51,8 @@ func TestHTTPBadRequests(t *testing.T) {
 		path, body string
 		want       int
 	}{
-		{"/classify", `{"x":[1.0]}`, http.StatusBadRequest},      // wrong dim
-		{"/classify", `not json`, http.StatusBadRequest},         // malformed
+		{"/classify", `{"x":[1.0]}`, http.StatusBadRequest},           // wrong dim
+		{"/classify", `not json`, http.StatusBadRequest},              // malformed
 		{"/insert", `{"x":[1,2,3],"label":9}`, http.StatusBadRequest}, // unknown label
 	} {
 		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))

@@ -277,13 +277,41 @@ func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
 // Insert routes a labelled observation to its shard by content hash and
 // inserts it under the shard write lock; the remaining shards keep
 // serving reads untouched. This is the serving form of the paper's
-// online learning requirement.
+// online learning requirement. On a durable server the insert is
+// appended to the shard's write-ahead log first (pre-validated so the
+// apply cannot fail), under the same lock, so a crash after the ack
+// replays it.
 func (s *Server) Insert(x []float64, label int) error {
 	if len(x) != s.dim {
 		return fmt.Errorf("server: point dim %d != model dim %d", len(x), s.dim)
 	}
-	sh := s.shards[shardIndex(x, len(s.shards))]
+	if s.Recovering() {
+		return errRecovering
+	}
+	idx := shardIndex(x, len(s.shards))
+	sh := s.shards[idx]
+	var rec []byte
+	if s.durableOn() {
+		// Log-before-apply requires the apply to be total: reject here
+		// exactly what core.MultiTree.Insert would reject, so no logged
+		// record can fail replay.
+		if !s.knownLabel(label) {
+			return fmt.Errorf("server: unknown class label %d", label)
+		}
+		for i, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("server: non-finite coordinate %d", i)
+			}
+		}
+		rec = encodeClassRecord(label, x)
+	}
 	sh.mu.Lock()
+	if rec != nil {
+		if err := s.logAppend(idx, rec); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("server: wal: %w", err)
+		}
+	}
 	err := sh.tree.Insert(x, label)
 	sh.mu.Unlock()
 	if err != nil {
@@ -404,6 +432,19 @@ type Stats struct {
 	Weight         float64 `json:"weight"`
 	PointsPruned   int64   `json:"points_pruned"`
 	SubtreesPruned int64   `json:"subtrees_pruned"`
+	// Durability reports the write-ahead-log state: whether inserts are
+	// logged, whether WAL replay is still rebuilding the model (writes
+	// rejected, /healthz failing), the replay and group-commit counters
+	// and the current checkpoint generation. All zero when the server
+	// runs memory-only.
+	WALEnabled         bool   `json:"wal_enabled"`
+	Recovering         bool   `json:"recovering"`
+	WALAppends         int64  `json:"wal_appends"`
+	WALSyncs           int64  `json:"wal_syncs"`
+	WALBytes           int64  `json:"wal_bytes"`
+	WALReplayed        int64  `json:"wal_replayed"`
+	WALDroppedRecords  int64  `json:"wal_dropped_records"`
+	SnapshotGeneration uint64 `json:"snapshot_generation"`
 }
 
 // Stats returns a point-in-time summary of shard sizes and the

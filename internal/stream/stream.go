@@ -177,7 +177,11 @@ func Run(clf *core.Classifier, items []Item, arrivals Arrivals, budgeter Budgete
 // batch anytime classifier with per-object budgets plus online learning.
 // *core.Classifier implements it directly; the serving subsystem's
 // sharded server implements it too, so the same stream runner can feed
-// a live server for ingest-while-serving.
+// a live server for ingest-while-serving. Durability is the engine's
+// concern, not the stream's: when the serving engine runs with a
+// write-ahead log, every Learn/ingest this runner drives is logged and
+// crash-recoverable with no change here — the WAL is transparent to
+// the streaming layer.
 type Engine interface {
 	// ClassifyBatchBudgets classifies xs[i] with budgets[i] node reads
 	// using a pool of workers, returning predictions in input order.
