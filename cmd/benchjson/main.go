@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -24,6 +25,7 @@ import (
 
 	"bayestree/internal/clustree"
 	"bayestree/internal/core"
+	"bayestree/internal/replica"
 	"bayestree/internal/server"
 )
 
@@ -88,6 +90,7 @@ func main() {
 		run("server_insert/shards=4/wal=off", benchInsert(4, "off")),
 		run("server_insert/shards=4/wal=group", benchInsert(4, "group")),
 		run("server_insert/shards=4/wal=fsync", benchInsert(4, "fsync")),
+		run("server_insert/shards=4/wal=group/replicated", benchInsertReplicated(4)),
 		run("cluster_ingest/shards=4/budget=8/wal=off", benchIngestWAL(4, 8, "off")),
 		run("cluster_ingest/shards=4/budget=8/wal=group", benchIngestWAL(4, 8, "group")),
 	)
@@ -213,6 +216,56 @@ func benchInsert(shards int, mode string) func(b *testing.B) {
 		s := durableServer(b, shards, mode)
 		defer s.CloseDurability()
 		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x, label := classPoint(rng)
+			if err := s.Insert(x, label); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchInsertReplicated measures classification ingest with a live
+// follower tailing the WAL stream — the replication-on ingest
+// throughput cell, diffable against its wal=group sibling to price the
+// shipping overhead.
+func benchInsertReplicated(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := durableServer(b, shards, "group")
+		defer s.CloseDurability()
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.CloseClientConnections()
+			ts.Close()
+		}()
+		foll, err := server.NewFollowerServer(
+			server.DurabilityOptions{Dir: b.TempDir(), FsyncEvery: 100 * time.Millisecond},
+			server.Config{}, ts.URL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tail := replica.New(foll, replica.Options{
+			PrimaryURL: ts.URL,
+			Workload:   replica.WorkloadClassify,
+			Epoch:      foll.Epoch,
+		})
+		tail.Start()
+		defer tail.Stop()
+		// One insert outside the timer proves the stream is up before
+		// measuring.
+		rng := rand.New(rand.NewSource(1))
+		x, label := classPoint(rng)
+		if err := s.Insert(x, label); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Stats().ReplFollowers == 0 {
+			if time.Now().After(deadline) {
+				b.Fatal("follower never connected")
+			}
+			time.Sleep(time.Millisecond)
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			x, label := classPoint(rng)

@@ -19,12 +19,20 @@
 //
 //	serveclass -dataset covertype -decay-lambda 0.1 -decay-every 30s -min-weight 0.05
 //
+// Run a read-only replica that tails a primary's WAL stream, serves
+// follower reads with a reported staleness bound, and can be promoted
+// (SIGHUP or -promote-file) when the primary dies:
+//
+//	serveclass -wal-dir /data/replica -follow http://primary:8080
+//
 // Endpoints: POST /classify ({"x":[...],"budget":25}; NDJSON body for
 // batch streaming), POST /insert ({"x":[...],"label":2}; NDJSON for
-// bulk ingest), GET /stats, GET /healthz. On SIGTERM or SIGINT the
-// server drains gracefully: /healthz flips to 503 so load balancers
-// stop routing here, in-flight requests finish within the -drain
-// timeout, and the model is snapshotted back to -snapshot if set.
+// bulk ingest), GET /stats, GET /healthz (liveness), GET /readyz
+// (readiness), GET /replicate (replication stream). On SIGTERM or
+// SIGINT the server drains gracefully: /readyz flips to 503 so load
+// balancers stop routing here, in-flight requests finish within the
+// -drain timeout, and the model is snapshotted back to -snapshot if
+// set.
 package main
 
 import (
@@ -32,12 +40,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"bayestree/internal/core"
 	"bayestree/internal/dataset"
 	"bayestree/internal/persist"
+	"bayestree/internal/replica"
 	"bayestree/internal/serve"
 	"bayestree/internal/server"
 )
@@ -64,6 +74,9 @@ func main() {
 		decayDur = flag.Duration("decay-every", time.Minute, "wall-clock length of one decay epoch for the background maintenance sweep (with -decay-lambda > 0)")
 		walDir   = flag.String("wal-dir", "", "durability directory: per-shard write-ahead log + checkpoint snapshots; inserts survive crashes via snapshot+replay recovery")
 		fsyncDur = flag.Duration("fsync-every", 100*time.Millisecond, "WAL group-commit fsync interval; 0 fsyncs every insert (with -wal-dir)")
+		follow   = flag.String("follow", "", "run as a read-only replica of the primary at this base URL, e.g. http://host:8080 (requires -wal-dir; writes answer 307 to the primary)")
+		promFile = flag.String("promote-file", "", "promote this replica to primary when the file appears (SIGHUP promotes too; with -follow)")
+		replAddr = flag.String("replicate-addr", "", "serve the replication stream (/replicate) on a second listener at this address (with -wal-dir)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -75,12 +88,17 @@ func main() {
 				"maintenance sweep's pruning floor.\n"+
 				"-wal-dir makes ingest durable: every insert is appended to a per-shard\n"+
 				"write-ahead log (group-committed every -fsync-every), recovery replays the\n"+
-				"log tail over the latest checkpoint, and a drain checkpoints + truncates.\n\n"+
+				"log tail over the latest checkpoint, and a drain checkpoints + truncates.\n"+
+				"-follow runs a read-only replica of a primary: it bootstraps from the\n"+
+				"primary's checkpoint, tails its WAL stream, and can be promoted with\n"+
+				"SIGHUP or -promote-file when the primary dies.\n\n"+
 				"Endpoints:\n"+
 				"  POST /classify   {\"x\":[...],\"budget\":25}; NDJSON body streams a batch\n"+
 				"  POST /insert     {\"x\":[...],\"label\":2}; NDJSON body bulk-ingests\n"+
-				"  GET  /stats      shard sizes, admission and WAL counters\n"+
-				"  GET  /healthz    200 ok, 503 while recovering or draining\n\nFlags:\n")
+				"  GET  /stats      shard sizes, admission, WAL and replication counters\n"+
+				"  GET  /healthz    liveness: 200 once listening\n"+
+				"  GET  /readyz     readiness: 503 while recovering or draining\n"+
+				"  GET  /replicate  replication stream (checkpoint + live WAL tail)\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -115,6 +133,24 @@ func main() {
 		cfg.DecayEvery = *decayDur
 	} else if *decayL < 0 {
 		usageErrorf("-decay-lambda must be ≥ 0, got %v", *decayL)
+	}
+
+	if *follow != "" {
+		if *walDir == "" {
+			usageErrorf("-follow requires -wal-dir (the replica's own durable state)")
+		}
+		if *fsyncDur < 0 {
+			usageErrorf("-fsync-every must be ≥ 0, got %v", *fsyncDur)
+		}
+		runFollower(*addr, *follow, *promFile, *replAddr, *drain,
+			server.DurabilityOptions{Dir: *walDir, FsyncEvery: *fsyncDur}, cfg)
+		return
+	}
+	if *promFile != "" {
+		usageErrorf("-promote-file only applies to a replica (-follow)")
+	}
+	if *replAddr != "" && *walDir == "" {
+		usageErrorf("-replicate-addr requires -wal-dir (replication ships the WAL)")
 	}
 
 	bootstrap := func() (*server.Server, error) {
@@ -153,7 +189,7 @@ func main() {
 	log.Printf("serving %d observations over %d shards on %s (default budget %d, admission %s, decay %s, wal %s)",
 		s.Len(), s.NumShards(), *addr, *budget, admissionDesc(*nps), decayDesc(s, *decayL, *minW, *decayDur), walDesc(*walDir, *fsyncDur))
 
-	err = serve.Run(serve.App{
+	app := serve.App{
 		Name:         "serveclass",
 		Addr:         *addr,
 		Handler:      s.Handler(),
@@ -161,28 +197,90 @@ func main() {
 		Recover:      recoverFn,
 		SetDraining:  s.SetDraining,
 		Close:        s.Close,
-		Persist: func() error {
-			if *walDir != "" {
-				if err := s.Checkpoint(); err != nil {
-					return err
-				}
-				if err := s.CloseDurability(); err != nil {
-					return err
-				}
-				log.Printf("final checkpoint written to %s (%d observations)", *walDir, s.Len())
+	}
+	if *replAddr != "" {
+		app.ReplicateAddr = *replAddr
+		app.ReplicateHandler = s.ReplicateHandler()
+	}
+	app.Persist = func() error {
+		if *walDir != "" {
+			if err := s.Checkpoint(); err != nil {
+				return err
 			}
-			if *snapshot != "" {
-				if err := saveSnapshot(s, *snapshot); err != nil {
-					return err
-				}
-				log.Printf("snapshot written to %s (%d observations)", *snapshot, s.Len())
+			if err := s.CloseDurability(); err != nil {
+				return err
 			}
-			return nil
-		},
-	})
-	if err != nil {
+			log.Printf("final checkpoint written to %s (%d observations)", *walDir, s.Len())
+		}
+		if *snapshot != "" {
+			if err := saveSnapshot(s, *snapshot); err != nil {
+				return err
+			}
+			log.Printf("snapshot written to %s (%d observations)", *snapshot, s.Len())
+		}
+		return nil
+	}
+	if err := serve.Run(app); err != nil {
 		log.Fatalf("%v", err)
 	}
+}
+
+// runFollower runs the replica lifecycle: a Follower over the durable
+// directory, a Tailer pumping the primary's stream into it, and the
+// serve loop with the promote triggers armed.
+func runFollower(addr, primaryURL, promoteFile, replAddr string, drain time.Duration, dopts server.DurabilityOptions, cfg server.Config) {
+	f, err := server.NewFollowerServer(dopts, cfg, primaryURL)
+	if err != nil {
+		log.Fatalf("serveclass: %v", err)
+	}
+	t := replica.New(f, replica.Options{
+		PrimaryURL: primaryURL,
+		Workload:   replica.WorkloadClassify,
+		Epoch:      f.Epoch,
+	})
+	t.Start()
+	log.Printf("following %s (wal %s); promote with SIGHUP%s", primaryURL, dopts.Dir, promoteHint(promoteFile))
+	app := serve.App{
+		Name:         "serveclass",
+		Addr:         addr,
+		Handler:      f.Handler(),
+		DrainTimeout: drain,
+		SetDraining:  f.SetDraining,
+		Close:        f.Close,
+		Persist: func() error {
+			t.Stop()
+			return f.Persist()
+		},
+		Promote: func() error {
+			t.Stop()
+			return f.Promote()
+		},
+		PromoteFile: promoteFile,
+	}
+	if replAddr != "" {
+		app.ReplicateAddr = replAddr
+		app.ReplicateHandler = followReplicateHandler(f.Handler())
+	}
+	if err := serve.Run(app); err != nil {
+		log.Fatalf("%v", err)
+	}
+}
+
+// followReplicateHandler exposes only /replicate of a follower's full
+// handler on the replication listener — live once the follower is
+// promoted (or for chained replication).
+func followReplicateHandler(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/replicate", h)
+	return mux
+}
+
+// promoteHint describes the promote-file trigger for the startup log.
+func promoteHint(path string) string {
+	if path == "" {
+		return ""
+	}
+	return fmt.Sprintf(" or by creating %s", path)
 }
 
 // walDesc describes the durability mode for the startup log line.

@@ -14,10 +14,16 @@
 //
 //	servecluster -snapshot clusters.btsn -addr :8081
 //
+// Run a read-only replica that tails a primary's WAL stream and can be
+// promoted (SIGHUP or -promote-file) when the primary dies:
+//
+//	servecluster -wal-dir /data/replica -follow http://primary:8081
+//
 // Endpoints: POST /cluster ({"x":[...],"budget":3}; NDJSON body for
 // bulk ingest), GET /microclusters?minw=, GET /macroclusters?eps=&minw=,
-// GET /window?t1=&t2=, GET /stats, GET /healthz. On SIGTERM or SIGINT
-// the server drains gracefully: /healthz flips to 503, in-flight
+// GET /window?t1=&t2=, GET /stats, GET /healthz (liveness), GET /readyz
+// (readiness), GET /replicate (replication stream). On SIGTERM or
+// SIGINT the server drains gracefully: /readyz flips to 503, in-flight
 // requests finish within the -drain timeout, and the model is
 // snapshotted back to -snapshot if set.
 package main
@@ -26,12 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"bayestree/internal/clustree"
 	"bayestree/internal/core"
 	"bayestree/internal/persist"
+	"bayestree/internal/replica"
 	"bayestree/internal/serve"
 	"bayestree/internal/server"
 )
@@ -55,6 +63,9 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful drain timeout on SIGTERM/SIGINT")
 		walDir   = flag.String("wal-dir", "", "durability directory: per-shard write-ahead log + checkpoint snapshots; ingested objects survive crashes via snapshot+replay recovery")
 		fsyncDur = flag.Duration("fsync-every", 100*time.Millisecond, "WAL group-commit fsync interval; 0 fsyncs every ingest (with -wal-dir)")
+		follow   = flag.String("follow", "", "run as a read-only replica of the primary at this base URL, e.g. http://host:8081 (requires -wal-dir; writes answer 307 to the primary)")
+		promFile = flag.String("promote-file", "", "promote this replica to primary when the file appears (SIGHUP promotes too; with -follow)")
+		replAddr = flag.String("replicate-addr", "", "serve the replication stream (/replicate) on a second listener at this address (with -wal-dir)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -77,8 +88,10 @@ func main() {
 				"  GET  /microclusters  ?minw=0.5    current micro-clusters\n"+
 				"  GET  /macroclusters  ?eps=&minw=  density-based offline clustering\n"+
 				"  GET  /window         ?t1=&t2=     historical view via pyramidal snapshots\n"+
-				"  GET  /stats          shard sizes, parked/merge/split and admission counters\n"+
-				"  GET  /healthz        200 ok, 503 while draining\n\nFlags:\n")
+				"  GET  /stats          shard sizes, parked/merge/split, admission and replication counters\n"+
+				"  GET  /healthz        liveness: 200 once listening\n"+
+				"  GET  /readyz         readiness: 503 while recovering or draining\n"+
+				"  GET  /replicate      replication stream (checkpoint + live WAL tail)\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -113,6 +126,24 @@ func main() {
 		SnapshotEvery:    *snapN,
 	}
 
+	if *follow != "" {
+		if *walDir == "" {
+			usageErrorf("-follow requires -wal-dir (the replica's own durable state)")
+		}
+		if *fsyncDur < 0 {
+			usageErrorf("-fsync-every must be ≥ 0, got %v", *fsyncDur)
+		}
+		runFollower(*addr, *follow, *promFile, *replAddr, *drain,
+			server.DurabilityOptions{Dir: *walDir, FsyncEvery: *fsyncDur}, cfg, copts)
+		return
+	}
+	if *promFile != "" {
+		usageErrorf("-promote-file only applies to a replica (-follow)")
+	}
+	if *replAddr != "" && *walDir == "" {
+		usageErrorf("-replicate-addr requires -wal-dir (replication ships the WAL)")
+	}
+
 	bootstrap := func() (*server.ClusterServer, error) {
 		return buildServer(*snapshot, *dim, *shards, cfg, copts)
 	}
@@ -145,7 +176,7 @@ func main() {
 	log.Printf("serving clustering over %d shards on %s (dim %d, default budget %d, λ=%g, clock %d)",
 		s.NumShards(), *addr, s.Dim(), *budget, *lambda, s.Clock())
 
-	err = serve.Run(serve.App{
+	app := serve.App{
 		Name:         "servecluster",
 		Addr:         *addr,
 		Handler:      s.Handler(),
@@ -171,10 +202,65 @@ func main() {
 			}
 			return nil
 		},
-	})
-	if err != nil {
+	}
+	if *replAddr != "" {
+		app.ReplicateAddr = *replAddr
+		app.ReplicateHandler = s.ReplicateHandler()
+	}
+	if err := serve.Run(app); err != nil {
 		log.Fatalf("%v", err)
 	}
+}
+
+// runFollower runs the replica lifecycle: a Follower over the durable
+// directory, a Tailer pumping the primary's stream into it, and the
+// serve loop with the promote triggers armed.
+func runFollower(addr, primaryURL, promoteFile, replAddr string, drain time.Duration, dopts server.DurabilityOptions, cfg server.Config, copts server.ClusterOptions) {
+	f, err := server.NewFollowerCluster(dopts, cfg, copts, primaryURL)
+	if err != nil {
+		log.Fatalf("servecluster: %v", err)
+	}
+	t := replica.New(f, replica.Options{
+		PrimaryURL: primaryURL,
+		Workload:   replica.WorkloadCluster,
+		Epoch:      f.Epoch,
+	})
+	t.Start()
+	log.Printf("following %s (wal %s); promote with SIGHUP%s", primaryURL, dopts.Dir, promoteHint(promoteFile))
+	app := serve.App{
+		Name:         "servecluster",
+		Addr:         addr,
+		Handler:      f.Handler(),
+		DrainTimeout: drain,
+		SetDraining:  f.SetDraining,
+		Close:        f.Close,
+		Persist: func() error {
+			t.Stop()
+			return f.Persist()
+		},
+		Promote: func() error {
+			t.Stop()
+			return f.Promote()
+		},
+		PromoteFile: promoteFile,
+	}
+	if replAddr != "" {
+		app.ReplicateAddr = replAddr
+		mux := http.NewServeMux()
+		mux.Handle("/replicate", f.Handler())
+		app.ReplicateHandler = mux
+	}
+	if err := serve.Run(app); err != nil {
+		log.Fatalf("%v", err)
+	}
+}
+
+// promoteHint describes the promote-file trigger for the startup log.
+func promoteHint(path string) string {
+	if path == "" {
+		return ""
+	}
+	return fmt.Sprintf(" or by creating %s", path)
 }
 
 // buildServer resolves the model source: an existing snapshot wins,

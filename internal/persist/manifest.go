@@ -29,6 +29,13 @@ type Manifest struct {
 	// no checkpoint has completed yet and recovery starts from an empty
 	// (or bootstrapped) model.
 	Generation uint64 `json:"generation"`
+	// Epoch is the replication fencing token: it starts at 0 and is
+	// bumped only when a replica is promoted to primary, so a higher
+	// epoch always names a newer line of succession. A resurrected
+	// stale primary that learns of a higher epoch must refuse writes
+	// (it fences itself). Manifests written before replication existed
+	// decode as epoch 0.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Snapshot is the snapshot filename relative to the durability
 	// directory, "" when Generation is 0.
 	Snapshot string `json:"snapshot"`

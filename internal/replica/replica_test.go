@@ -1,0 +1,95 @@
+package replica
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestWireRoundTrip: header, snapshot bytes, record frames, and
+// heartbeats survive an encode/decode cycle byte-for-byte.
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h := Header{
+		Proto:         Proto,
+		Workload:      WorkloadClassify,
+		Generation:    3,
+		Epoch:         2,
+		Shards:        4,
+		SnapshotBytes: 5,
+		BaseLSN:       9,
+	}
+	if err := WriteHeader(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("snap!")
+	if err := WriteRecord(&buf, 2, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeartbeat(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bufio.NewReader(&buf)
+	got, err := ReadHeader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header = %+v, want %+v", got, h)
+	}
+	snap := make([]byte, got.SnapshotBytes)
+	if _, err := io.ReadFull(r, snap); err != nil {
+		t.Fatal(err)
+	}
+	if string(snap) != "snap!" {
+		t.Fatalf("snapshot = %q", snap)
+	}
+	f, err := ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != frameRecord || f.Shard != 2 || string(f.Payload) != "payload" {
+		t.Fatalf("record frame = %+v", f)
+	}
+	f, err = ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != frameHeartbeat || f.LSN != 42 {
+		t.Fatalf("heartbeat frame = %+v", f)
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("trailing read err = %v, want EOF", err)
+	}
+}
+
+// TestReadHeaderRejects: protocol mismatches and malformed headers are
+// errors, not silent misinterpretation of the byte stream that follows.
+func TestReadHeaderRejects(t *testing.T) {
+	cases := []string{
+		`{"proto":99,"workload":"classify","generation":1,"shards":1,"snapshot_bytes":0,"base_lsn":0}` + "\n",
+		`{"proto":1,"workload":"classify","generation":1,"shards":0,"snapshot_bytes":0,"base_lsn":0}` + "\n",
+		`{"proto":1,"workload":"classify","generation":1,"shards":1,"snapshot_bytes":-4,"base_lsn":0}` + "\n",
+		"not json\n",
+	}
+	for i, raw := range cases {
+		if _, err := ReadHeader(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Fatalf("case %d: bad header accepted", i)
+		}
+	}
+}
+
+// TestReadFrameRejectsOversize: a frame claiming more than the payload
+// cap is refused before any allocation of that size.
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(frameRecord)
+	buf.Write([]byte{0, 0, 0, 0})             // shard 0
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // absurd length
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}

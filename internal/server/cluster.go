@@ -280,6 +280,9 @@ func (s *ClusterServer) insertResolved(x []float64, requested int) (ClusterResul
 	if s.Recovering() {
 		return ClusterResult{}, errRecovering
 	}
+	if err := s.writeAllowed(); err != nil {
+		return ClusterResult{}, err
+	}
 	granted, finish := s.grant(requested)
 	idx := shardIndex(x, len(s.shards))
 	sh := s.shards[idx]
@@ -305,6 +308,48 @@ func (s *ClusterServer) insertResolved(x []float64, requested int) (ClusterResul
 	s.inserts.Add(1)
 	s.maybeRecord(ts)
 	return ClusterResult{Shard: idx, Requested: requested, Granted: granted, NodesRead: visited, Parked: parked}, nil
+}
+
+// ApplyReplicated applies one WAL record shipped from a primary to the
+// given shard, through the follower's own log-before-apply path. The
+// record carries the primary's timestamp and granted budget — the
+// inputs that make the descent deterministic — so the follower's tree
+// is digit-identical to the primary's at the same applied LSN. Used by
+// the replication tailer; not a client API.
+func (s *ClusterServer) ApplyReplicated(shard int, payload []byte) error {
+	if s.Recovering() {
+		return errRecovering
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("server: replicated record for shard %d of %d", shard, len(s.shards))
+	}
+	ts, granted, x, err := decodeClusterRecord(s.ccfg.Dim, payload)
+	if err != nil {
+		return err
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	// The follower's clock mirrors the primary's: advance to the shipped
+	// timestamp (per-shard order is apply order, so this is monotone per
+	// shard; across shards the max keeps the global clock consistent).
+	if ts > s.clock.Load() {
+		s.clock.Store(ts)
+	}
+	if s.durableOn() {
+		if err := s.logAppend(shard, payload); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("server: wal: %w", err)
+		}
+	}
+	_, err = sh.tree.t.InsertCounted(x, float64(ts), granted)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.inserts.Add(1)
+	s.repl.applied.Add(1)
+	s.maybeRecord(ts)
+	return nil
 }
 
 // maybeRecord stores a pyramidal snapshot of the union micro-clusters

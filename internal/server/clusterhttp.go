@@ -17,7 +17,12 @@ import (
 //	GET  /macroclusters?eps=0.12&minw=5                   → macro-cluster JSON
 //	GET  /window?t1=100&t2=400&eps=0.12&minw=2&radius=0.1 → windowed macro clusters
 //	GET  /stats                                           → ClusterStats JSON
-//	GET  /healthz                                         → 200 ok / 503 draining
+//	GET  /healthz                                         → liveness: 200 once listening
+//	GET  /readyz                                          → readiness: 503 + Retry-After until replay done / while draining
+//	GET  /replicate                                       → replication stream (checkpoint + live WAL tail)
+//
+// On a follower, /cluster answers 307 with a Location on the primary;
+// a fenced ex-primary answers 503.
 //
 // The NDJSON bulk form shares the classifier's windowed streaming
 // machinery (see ndjsonStream): a client pipes an unbounded object
@@ -61,6 +66,8 @@ func (s *ClusterServer) Handler() http.Handler {
 	mux.HandleFunc("/window", s.handleWindow)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/replicate", s.handleReplicate)
 	return mux
 }
 
@@ -69,12 +76,20 @@ func (s *ClusterServer) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if primary := s.followerRedirect(); primary != "" {
+		redirectToPrimary(w, r, primary)
+		return
+	}
+	if s.replFenced() {
+		writeError(w, http.StatusServiceUnavailable, "fenced: a newer primary (epoch %d) exists", s.repl.fencedBy.Load())
+		return
+	}
 	if s.Recovering() {
-		writeError(w, http.StatusServiceUnavailable, "recovering: WAL replay in progress")
+		writeUnavailable(w, "recovering: WAL replay in progress")
 		return
 	}
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeUnavailable(w, "draining")
 		return
 	}
 	if isStream(r) {
@@ -222,16 +237,14 @@ func (s *ClusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is pure liveness: 200 as long as the process is up and
+// listening, even mid-recovery. Routability is /readyz's job.
 func (s *ClusterServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	// Recovery fails health checks so load balancers keep routing
-	// elsewhere until WAL replay has rebuilt the model.
-	if s.Recovering() {
-		http.Error(w, "recovering", http.StatusServiceUnavailable)
-		return
-	}
-	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 + Retry-After while WAL replay is
+// rebuilding the model or the process is draining, 200 otherwise.
+func (s *ClusterServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	writeReady(w, s.Recovering(), s.Draining())
 }

@@ -169,11 +169,16 @@ func TestClusterHTTPSingleAndErrors(t *testing.T) {
 		}
 	}
 
-	// Draining: health fails, ingest rejected.
+	// Draining: readiness fails (liveness stays 200), ingest rejected.
 	cs.SetDraining(true)
 	resp, _ = http.Get(ts.URL + "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/readyz")
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: %d", resp.StatusCode)
+		t.Fatalf("readyz while draining: %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 	resp, _ = http.Post(ts.URL+"/cluster", "application/json",

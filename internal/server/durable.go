@@ -75,11 +75,17 @@ type durState struct {
 	// that (replay applies records directly).
 	logs []*wal.Log
 	// ckptMu serializes checkpoints (each bumps the generation) and
-	// guards manifest.
+	// guards manifest and epoch.
 	ckptMu     sync.Mutex
 	recovering atomic.Bool
 	replayed   atomic.Int64
 	dropped    atomic.Int64
+	// epoch is the replication fencing token carried by the manifest;
+	// Promote bumps it. Guarded by ckptMu.
+	epoch uint64
+	// hub fans durable appends out to /replicate subscribers; see
+	// replication.go.
+	hub *replHub
 }
 
 // shardWALDir names shard i's segment directory under the durability
@@ -94,19 +100,34 @@ func snapshotName(gen uint64) string {
 }
 
 // durOpen is what opening a durability directory yields: the manifest
-// (if any) and the held directory lock.
+// (if any), the held directory lock and any persisted fencing state.
 type durOpen struct {
-	manifest persist.Manifest
-	hadState bool
-	lock     *os.File
+	manifest    persist.Manifest
+	hadState    bool
+	lock        *os.File
+	fencedEpoch uint64
+	hadFenced   bool
 }
 
 // attachDurability arms the engine's durability state: the server is
-// "recovering" (writes rejected, /healthz 503) until Recover replays
-// the WAL tail and opens the logs.
+// "recovering" (writes rejected, /readyz 503) until Recover replays
+// the WAL tail and opens the logs. A FENCED marker left by a previous
+// incarnation re-fences the process unless the manifest has since
+// caught up to the fencing epoch (i.e. this directory was itself
+// promoted).
 func (e *engine[M]) attachDurability(opts DurabilityOptions, do durOpen) {
 	e.dur = &durState{opts: opts, manifest: do.manifest, hadState: do.hadState, lock: do.lock}
+	e.dur.epoch = do.manifest.Epoch
+	e.dur.hub = newReplHub()
 	e.dur.recovering.Store(true)
+	if do.hadFenced {
+		if do.manifest.Epoch >= do.fencedEpoch {
+			clearFenced(opts.Dir)
+		} else {
+			e.repl.fencedBy.Store(do.fencedEpoch)
+			e.repl.fenced.Store(true)
+		}
+	}
 }
 
 // Recovering reports whether the engine is still replaying its WAL —
@@ -121,10 +142,19 @@ func (e *engine[M]) durableOn() bool {
 	return e.dur != nil && e.dur.logs != nil
 }
 
-// logAppend appends a record to shard idx's WAL. Callers hold the shard
-// write lock, so the per-shard log order is exactly the apply order.
+// logAppend appends a record to shard idx's WAL and ships it to any
+// attached /replicate subscribers. Callers hold the shard write lock,
+// so the per-shard log order is exactly the apply order — and because
+// the publish happens under the same lock, the hub's shipped counter
+// is a consistent global LSN: a checkpoint's withAllRead (all shard
+// locks held) excludes every append, so a subscriber attached inside
+// it sees precisely the records after its snapshot.
 func (e *engine[M]) logAppend(idx int, payload []byte) error {
-	return e.dur.logs[idx].Append(payload)
+	if err := e.dur.logs[idx].Append(payload); err != nil {
+		return err
+	}
+	e.dur.hub.publish(idx, payload)
+	return nil
 }
 
 // shardLogStart is the first WAL segment shard i's replay must read.
@@ -168,18 +198,33 @@ func (e *engine[M]) finishRecovery() { e.dur.recovering.Store(false) }
 // snapshot. Crash-safe at every step — the manifest write is the commit
 // point.
 func (e *engine[M]) checkpoint(encode func(io.Writer, []M) error) error {
+	_, _, _, err := e.checkpointSubscribe(encode, nil)
+	return err
+}
+
+// checkpointSubscribe is checkpoint with an optional replication
+// subscriber: when sub is non-nil it is attached to the hub inside the
+// withAllRead cut — all shard locks held, so no append can land between
+// the snapshot and the attachment — and the new snapshot is returned as
+// an open *os.File along with the base LSN (the hub's shipped count at
+// the cut). The open fd survives the snapshot's later garbage
+// collection (unlink keeps the inode readable), so /replicate can
+// stream it without racing the next checkpoint. With sub nil both
+// returns are zero and no file is opened.
+func (e *engine[M]) checkpointSubscribe(encode func(io.Writer, []M) error, sub *replSub) (persist.Manifest, *os.File, uint64, error) {
 	d := e.dur
 	if d == nil {
-		return fmt.Errorf("server: durability not configured")
+		return persist.Manifest{}, nil, 0, fmt.Errorf("server: durability not configured")
 	}
 	if d.logs == nil {
-		return errRecovering
+		return persist.Manifest{}, nil, 0, errRecovering
 	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	gen := d.manifest.Generation + 1
 	name := snapshotName(gen)
 	starts := make([]uint64, len(d.logs))
+	var baseLSN uint64
 	err := e.withAllRead(func(models []M) error {
 		for i, lg := range d.logs {
 			seg, err := lg.Rotate()
@@ -188,20 +233,38 @@ func (e *engine[M]) checkpoint(encode func(io.Writer, []M) error) error {
 			}
 			starts[i] = seg
 		}
+		if sub != nil {
+			baseLSN = d.hub.attach(sub)
+		}
 		return persist.WriteFileAtomic(filepath.Join(d.opts.Dir, name), func(w io.Writer) error {
 			return encode(w, models)
 		})
 	})
 	if err != nil {
-		return err
+		if sub != nil {
+			d.hub.detach(sub)
+		}
+		return persist.Manifest{}, nil, 0, err
 	}
 	prev := d.manifest
-	m := persist.Manifest{Generation: gen, Snapshot: name, Shards: len(d.logs), ShardStart: starts}
+	m := persist.Manifest{Generation: gen, Epoch: d.epoch, Snapshot: name, Shards: len(d.logs), ShardStart: starts}
 	if err := persist.SaveManifest(d.opts.Dir, m); err != nil {
-		return err
+		if sub != nil {
+			d.hub.detach(sub)
+		}
+		return persist.Manifest{}, nil, 0, err
 	}
 	d.manifest = m
 	d.hadState = true
+	var snap *os.File
+	if sub != nil {
+		f, err := os.Open(filepath.Join(d.opts.Dir, name))
+		if err != nil {
+			d.hub.detach(sub)
+			return persist.Manifest{}, nil, 0, fmt.Errorf("server: reopen snapshot: %w", err)
+		}
+		snap = f
+	}
 	// Everything below the new starts is folded into the snapshot;
 	// removal is garbage collection, best-effort by design.
 	for i, lg := range d.logs {
@@ -210,7 +273,7 @@ func (e *engine[M]) checkpoint(encode func(io.Writer, []M) error) error {
 	if prev.Snapshot != "" && prev.Snapshot != name {
 		os.Remove(filepath.Join(d.opts.Dir, prev.Snapshot))
 	}
-	return nil
+	return m, snap, baseLSN, nil
 }
 
 // Generation returns the current snapshot generation (0 before the
@@ -414,7 +477,8 @@ func openDurableDir(dopts DurabilityOptions) (durOpen, error) {
 		lock.Close()
 		return durOpen{}, err
 	}
-	return durOpen{manifest: m, hadState: had, lock: lock}, nil
+	fe, hadFenced := readFenced(dopts.Dir)
+	return durOpen{manifest: m, hadState: had, lock: lock, fencedEpoch: fe, hadFenced: hadFenced}, nil
 }
 
 // lockDir takes a non-blocking exclusive flock on dir/LOCK — the

@@ -257,8 +257,9 @@ func TestDurableDrainCheckpointTruncates(t *testing.T) {
 }
 
 // TestDurableRecoveringGate: until Recover completes the server fails
-// health checks, rejects writes over HTTP with 503 and programmatic
-// writes with an error — and serves normally afterwards.
+// readiness checks (liveness stays 200), rejects writes over HTTP with
+// 503 and programmatic writes with an error — and serves normally
+// afterwards.
 func TestDurableRecoveringGate(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenDurableServer(DurabilityOptions{Dir: dir}, Config{}, func() (*Server, error) {
@@ -273,13 +274,26 @@ func TestDurableRecoveringGate(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("/healthz during recovery = %d, want 503", resp.StatusCode)
+		t.Fatalf("/readyz during recovery = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("/readyz 503 during recovery has no Retry-After")
+	}
+	// Liveness stays green the whole time: a recovering process is
+	// healthy, just not ready.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during recovery = %d, want 200", resp.StatusCode)
 	}
 	resp, err = http.Post(ts.URL+"/insert", "application/json", strings.NewReader(`{"x":[1,2,3],"label":1}`))
 	if err != nil {
@@ -307,13 +321,13 @@ func TestDurableRecoveringGate(t *testing.T) {
 	if err := s.Recover(); err != nil {
 		t.Fatalf("second Recover not idempotent: %v", err)
 	}
-	resp, err = http.Get(ts.URL + "/healthz")
+	resp, err = http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/healthz after recovery = %d, want 200", resp.StatusCode)
+		t.Fatalf("/readyz after recovery = %d, want 200", resp.StatusCode)
 	}
 	if err := s.Insert([]float64{1, 2, 3}, 1); err != nil {
 		t.Fatal(err)

@@ -80,6 +80,10 @@ type engine[M Model] struct {
 	// when the workload runs memory-only. See durable.go.
 	dur *durState
 
+	// repl is the replication role and staleness state: follower vs
+	// primary, epoch fencing, applied LSN. See replication.go.
+	repl replState
+
 	// decayOn is set when any shard forgets (via Config.Decay or a
 	// warm-started snapshot's own decay state); maintStop/maintDone
 	// bracket the background maintenance loop.
@@ -360,5 +364,6 @@ func (e *engine[M]) baseStats() Stats {
 		st.Observations += n
 	}
 	e.durStats(&st)
+	e.replStats(&st)
 	return st
 }

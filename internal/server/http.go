@@ -15,7 +15,12 @@ import (
 //	POST /insert    {"x":[...],"label":2}              → {"ok":true,...}
 //	POST /insert    (NDJSON body, one insert/line)     → NDJSON acks
 //	GET  /stats                                        → Stats JSON
-//	GET  /healthz                                      → 200 ok / 503 draining
+//	GET  /healthz                                      → liveness: 200 once listening
+//	GET  /readyz                                       → readiness: 503 + Retry-After until replay done / while draining
+//	GET  /replicate                                    → replication stream (checkpoint + live WAL tail)
+//
+// On a follower, write endpoints answer 307 with a Location on the
+// primary; a fenced ex-primary answers 503.
 //
 // A body whose Content-Type mentions "ndjson" (or a ?stream=1 query) is
 // treated as a streamed batch: requests are read line by line, windows
@@ -56,6 +61,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/replicate", s.handleReplicate)
 	return mux
 }
 
@@ -75,13 +82,44 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeUnavailable is the 503 every transient condition (recovery,
+// draining) shares: Retry-After tells well-behaved clients and load
+// balancers to come back instead of giving up or killing the process.
+func writeUnavailable(w http.ResponseWriter, format string, args ...interface{}) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// writeReady is the shared /readyz body: 503 + Retry-After while the
+// process cannot serve (recovering or draining), 200 otherwise.
+func writeReady(w http.ResponseWriter, recovering, draining bool) {
+	if recovering || draining {
+		w.Header().Set("Retry-After", "1")
+		reason := "draining"
+		if recovering {
+			reason = "recovering"
+		}
+		http.Error(w, reason, http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// redirectToPrimary answers a write sent to a follower with a 307 to
+// the same path on the primary — the method and body are preserved by
+// conforming clients, so a retried insert lands where it belongs.
+func redirectToPrimary(w http.ResponseWriter, r *http.Request, primary string) {
+	w.Header().Set("Location", primary+r.URL.Path)
+	writeError(w, http.StatusTemporaryRedirect, "read-only follower: writes go to the primary at %s", primary)
+}
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeUnavailable(w, "draining")
 		return
 	}
 	if isStream(r) {
@@ -205,12 +243,20 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if primary := s.followerRedirect(); primary != "" {
+		redirectToPrimary(w, r, primary)
+		return
+	}
+	if s.replFenced() {
+		writeError(w, http.StatusServiceUnavailable, "fenced: a newer primary (epoch %d) exists", s.repl.fencedBy.Load())
+		return
+	}
 	if s.Recovering() {
-		writeError(w, http.StatusServiceUnavailable, "recovering: WAL replay in progress")
+		writeUnavailable(w, "recovering: WAL replay in progress")
 		return
 	}
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeUnavailable(w, "draining")
 		return
 	}
 	if isStream(r) {
@@ -261,16 +307,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is pure liveness: 200 as long as the process is up and
+// listening, even mid-recovery — so orchestrators do not kill a process
+// that is busy replaying its WAL. Routability is /readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	// Recovery fails health checks so load balancers keep routing
-	// elsewhere until WAL replay has rebuilt the model.
-	if s.Recovering() {
-		http.Error(w, "recovering", http.StatusServiceUnavailable)
-		return
-	}
-	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 + Retry-After while WAL replay is
+// rebuilding the model or the process is draining, 200 otherwise — the
+// endpoint load balancers should route on.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	writeReady(w, s.Recovering(), s.Draining())
 }

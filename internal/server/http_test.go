@@ -235,10 +235,20 @@ func TestHTTPDraining(t *testing.T) {
 		t.Fatalf("healthz %d before drain", resp.StatusCode)
 	}
 	s.SetDraining(true)
+	// Liveness is unaffected by draining; readiness fails with a
+	// Retry-After hint.
 	resp, _ = http.Get(ts.URL + "/healthz")
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d during drain, want 200", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/readyz")
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz %d during drain, want 503", resp.StatusCode)
+		t.Fatalf("readyz %d during drain, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("readyz 503 during drain has no Retry-After")
 	}
 	resp, _ = http.Post(ts.URL+"/classify", "application/json",
 		strings.NewReader(`{"x":[0.0,0.0,0.0],"budget":5}`))

@@ -1,0 +1,477 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayestree/internal/core"
+	"bayestree/internal/persist"
+	"bayestree/internal/replica"
+)
+
+// This file is the primary side of WAL-shipping replication plus the
+// role/fencing state both sides share. The design rides the durability
+// layer end to end:
+//
+//   - Shipping: every durable append publishes its (shard, payload) to
+//     a hub under the owning shard's write lock, so per-shard shipping
+//     order is exactly apply order and the hub's shipped counter is a
+//     global LSN. A /replicate subscriber attaches inside a
+//     checkpoint's withAllRead — all shard locks held, no append can
+//     race — so the snapshot it streams and the LSN it attaches at are
+//     the same consistent cut.
+//   - Fencing: the manifest carries an epoch, bumped only by Promote.
+//     A follower sends its epoch with every /replicate connect; a
+//     primary probed with a newer epoch persists a FENCED marker and
+//     refuses writes from then on — including across restarts — until
+//     a manifest at or above the fencing epoch clears it.
+//   - Roles: a follower serves reads but answers writes with a 307 to
+//     its primary; Promote flips it to primary by bumping the epoch
+//     and cutting a checkpoint under the new one.
+
+// replSubBuffer is a subscriber's frame buffer. A subscriber that falls
+// this far behind the append stream is dropped (its channel closed);
+// the follower reconnects and re-bootstraps from a fresh checkpoint,
+// which is strictly cheaper than stalling every insert on a slow link.
+const replSubBuffer = 8192
+
+// replHeartbeatEvery paces the heartbeat frames that carry the shipped
+// LSN to idle followers — the staleness clock's tick.
+const replHeartbeatEvery = 500 * time.Millisecond
+
+// replFrame is one shipped WAL record.
+type replFrame struct {
+	shard   int
+	payload []byte
+}
+
+// replSub is one /replicate subscriber: a buffered frame channel plus
+// the dead flag set when the publisher overflows and closes it.
+type replSub struct {
+	ch   chan replFrame
+	dead bool
+}
+
+// replHub fans durable appends out to /replicate subscribers and owns
+// the shipped-LSN counter.
+type replHub struct {
+	mu      sync.Mutex
+	shipped uint64
+	subs    map[*replSub]struct{}
+}
+
+func newReplHub() *replHub { return &replHub{subs: make(map[*replSub]struct{})} }
+
+// publish ships one appended record: bumps the LSN and offers the frame
+// to every live subscriber without blocking — a full subscriber is
+// declared dead and its channel closed, which ends its stream.
+func (h *replHub) publish(shard int, payload []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.shipped++
+	if len(h.subs) == 0 {
+		return
+	}
+	f := replFrame{shard: shard, payload: payload}
+	for sub := range h.subs {
+		select {
+		case sub.ch <- f:
+		default:
+			sub.dead = true
+			close(sub.ch)
+			delete(h.subs, sub)
+		}
+	}
+}
+
+// attach registers a subscriber and returns the shipped LSN at the
+// instant of attachment. Called with all shard locks held (inside a
+// checkpoint's consistent cut), so every record with LSN ≤ the returned
+// base is in the snapshot and every later one will arrive on ch.
+func (h *replHub) attach(sub *replSub) (base uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs[sub] = struct{}{}
+	return h.shipped
+}
+
+// detach removes a subscriber; safe after an overflow already did.
+func (h *replHub) detach(sub *replSub) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; ok && !sub.dead {
+		delete(h.subs, sub)
+	}
+}
+
+// shippedLSN returns the current shipped-record count.
+func (h *replHub) shippedLSN() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.shipped
+}
+
+// followerCount reports the number of attached subscribers.
+func (h *replHub) followerCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int64(len(h.subs))
+}
+
+// replState is the engine's replication role and staleness accounting.
+type replState struct {
+	// follower is set on a replica serving follower reads; primary
+	// holds the primary's base URL for write redirects.
+	follower atomic.Bool
+	primary  atomic.Value // string
+	// fenced is set on a primary that learned of a newer epoch; fencedBy
+	// records that epoch.
+	fenced   atomic.Bool
+	fencedBy atomic.Uint64
+	// applied is the follower's applied LSN: BaseLSN at bootstrap, +1
+	// per replicated apply. lastCaughtUp is the unixnano instant the
+	// follower last knew it matched the primary's shipped LSN — the
+	// staleness clock's zero.
+	applied      atomic.Uint64
+	lastCaughtUp atomic.Int64
+	// connected reports tail connectivity; followers gauges attached
+	// /replicate subscribers on a primary.
+	connected atomic.Bool
+}
+
+// setFollower marks the engine as a follower of the primary at url.
+func (e *engine[M]) setFollower(url string) {
+	e.repl.primary.Store(url)
+	e.repl.follower.Store(true)
+}
+
+// followerRedirect returns the primary base URL writes should be
+// redirected to, "" when not a follower.
+func (e *engine[M]) followerRedirect() string {
+	if !e.repl.follower.Load() {
+		return ""
+	}
+	url, _ := e.repl.primary.Load().(string)
+	return url
+}
+
+// replFenced reports whether this primary has fenced itself against a
+// newer epoch.
+func (e *engine[M]) replFenced() bool { return e.repl.fenced.Load() }
+
+// fenceSelf persists the FENCED marker for epoch and flips the engine
+// into the fenced state: every write from here on is refused loudly,
+// including after a restart, until a manifest at or above epoch clears
+// the marker.
+func (e *engine[M]) fenceSelf(epoch uint64) {
+	if e.dur != nil {
+		// Best-effort persistence: even if the write fails the in-memory
+		// fence holds for this process's lifetime.
+		writeFenced(e.dur.opts.Dir, epoch)
+	}
+	e.repl.fencedBy.Store(epoch)
+	e.repl.fenced.Store(true)
+}
+
+// setAppliedBase resets the follower's applied-LSN counter to the
+// bootstrap checkpoint's base.
+func (e *engine[M]) setAppliedBase(lsn uint64) { e.repl.applied.Store(lsn) }
+
+// markCaughtUp records a primary heartbeat at shipped LSN lsn: if we
+// have applied at least that much, we are provably current as of now.
+func (e *engine[M]) markCaughtUp(lsn uint64) {
+	if e.repl.applied.Load() >= lsn {
+		e.repl.lastCaughtUp.Store(time.Now().UnixNano())
+	}
+}
+
+// markCaughtUpNow unconditionally resets the staleness clock — used at
+// bootstrap, when the follower state equals the shipped checkpoint by
+// construction.
+func (e *engine[M]) markCaughtUpNow() {
+	e.repl.lastCaughtUp.Store(time.Now().UnixNano())
+}
+
+// setReplConnected records tail connectivity for /stats.
+func (e *engine[M]) setReplConnected(ok bool) { e.repl.connected.Store(ok) }
+
+// writeAllowed gates every write path by replication role: followers
+// point the client at the primary, a fenced primary refuses loudly.
+func (e *engine[M]) writeAllowed() error {
+	if url := e.followerRedirect(); url != "" {
+		return fmt.Errorf("server: read-only follower: writes go to the primary at %s", url)
+	}
+	if e.replFenced() {
+		return fmt.Errorf("server: fenced: a newer primary (epoch %d) exists, refusing writes", e.repl.fencedBy.Load())
+	}
+	return nil
+}
+
+// Epoch returns the replication fencing epoch (0 before any promote, or
+// when durability is off).
+func (e *engine[M]) Epoch() uint64 {
+	if e.dur == nil {
+		return 0
+	}
+	d := e.dur
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	return d.epoch
+}
+
+// promote turns this engine into the primary of a new line of
+// succession: bump the fencing epoch and cut a checkpoint under it (the
+// manifest write is the durable commit of the new epoch), then drop any
+// follower/fenced role state. checkpoint is the workload's Checkpoint.
+func (e *engine[M]) promote(checkpoint func() error) error {
+	d := e.dur
+	if d == nil {
+		return fmt.Errorf("server: promote requires durability (-wal-dir)")
+	}
+	if d.recovering.Load() {
+		return errRecovering
+	}
+	d.ckptMu.Lock()
+	d.epoch++
+	d.ckptMu.Unlock()
+	if err := checkpoint(); err != nil {
+		d.ckptMu.Lock()
+		d.epoch--
+		d.ckptMu.Unlock()
+		return fmt.Errorf("server: promote checkpoint: %w", err)
+	}
+	e.repl.follower.Store(false)
+	e.repl.fenced.Store(false)
+	clearFenced(d.opts.Dir)
+	return nil
+}
+
+// replStats folds the replication fields into a Stats summary.
+func (e *engine[M]) replStats(st *Stats) {
+	if e.repl.follower.Load() {
+		st.Role = "follower"
+		st.AppliedLSN = e.repl.applied.Load()
+		if at := e.repl.lastCaughtUp.Load(); at > 0 {
+			st.StalenessMs = time.Since(time.Unix(0, at)).Milliseconds()
+		} else {
+			st.StalenessMs = -1
+		}
+		st.ReplConnected = e.repl.connected.Load()
+	} else {
+		st.Role = "primary"
+	}
+	st.Epoch = e.Epoch()
+	st.Fenced = e.repl.fenced.Load()
+	st.FencedBy = e.repl.fencedBy.Load()
+	if e.dur != nil && e.dur.hub != nil {
+		st.ReplFollowers = e.dur.hub.followerCount()
+		st.ReplShippedLSN = e.dur.hub.shippedLSN()
+	}
+}
+
+// ---------------------------------------------------------------------
+// FENCED marker
+
+// fencedName is the persistent fencing marker's filename inside a
+// durability directory: JSON {"epoch": N} meaning "a primary with epoch
+// N exists; do not serve writes below it".
+const fencedName = "FENCED"
+
+// fencedMarker is the FENCED file's JSON shape.
+type fencedMarker struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// readFenced loads the FENCED marker, ok=false when none exists.
+func readFenced(dir string) (epoch uint64, ok bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, fencedName))
+	if err != nil {
+		return 0, false
+	}
+	var m fencedMarker
+	if json.Unmarshal(raw, &m) != nil {
+		return 0, false
+	}
+	return m.Epoch, true
+}
+
+// writeFenced persists the FENCED marker atomically, best-effort.
+func writeFenced(dir string, epoch uint64) error {
+	return persist.WriteFileAtomic(filepath.Join(dir, fencedName), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(fencedMarker{Epoch: epoch})
+	})
+}
+
+// clearFenced removes the FENCED marker, best-effort.
+func clearFenced(dir string) { os.Remove(filepath.Join(dir, fencedName)) }
+
+// ---------------------------------------------------------------------
+// /replicate endpoint
+
+// serveReplicate streams a checkpoint plus the live WAL tail to one
+// follower: the JSON header line, the snapshot bytes, then record and
+// heartbeat frames until the client goes away or falls too far behind.
+// ckpt is checkpointSubscribe bound to the workload's snapshot encoder.
+func serveReplicate[M Model](
+	e *engine[M],
+	ckpt func(*replSub) (persist.Manifest, *os.File, uint64, error),
+	workload string,
+	w http.ResponseWriter,
+	r *http.Request,
+) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if e.dur == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication requires durability (-wal-dir)")
+		return
+	}
+	// A caller announcing a newer epoch is a promoted replica probing
+	// its old primary: fence ourselves before answering.
+	if raw := r.Header.Get(replica.EpochHeader); raw != "" {
+		if callerEpoch, err := strconv.ParseUint(raw, 10, 64); err == nil && callerEpoch > e.Epoch() {
+			e.fenceSelf(callerEpoch)
+			writeError(w, http.StatusConflict, "stale primary: fenced by epoch %d", callerEpoch)
+			return
+		}
+	}
+	if e.Recovering() {
+		writeUnavailable(w, "recovering")
+		return
+	}
+	if e.replFenced() {
+		writeError(w, http.StatusServiceUnavailable, "fenced: a newer primary (epoch %d) exists", e.repl.fencedBy.Load())
+		return
+	}
+	if e.Draining() {
+		writeUnavailable(w, "draining")
+		return
+	}
+
+	sub := &replSub{ch: make(chan replFrame, replSubBuffer)}
+	m, snap, baseLSN, err := ckpt(sub)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	defer snap.Close()
+	defer e.dur.hub.detach(sub)
+
+	info, err := snap.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	h := replica.Header{
+		Proto:         replica.Proto,
+		Workload:      workload,
+		Generation:    m.Generation,
+		Epoch:         m.Epoch,
+		Shards:        len(e.shards),
+		SnapshotBytes: info.Size(),
+		BaseLSN:       baseLSN,
+	}
+	rc := http.NewResponseController(w)
+	if err := replica.WriteHeader(w, h); err != nil {
+		return
+	}
+	if _, err := io.Copy(w, snap); err != nil {
+		return
+	}
+	// An immediate heartbeat lets the follower mark itself caught up the
+	// instant the bootstrap lands instead of waiting a tick.
+	if err := replica.WriteHeartbeat(w, baseLSN); err != nil {
+		return
+	}
+	rc.Flush()
+
+	tick := time.NewTicker(replHeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case f, ok := <-sub.ch:
+			if !ok {
+				// Overflowed: end the stream; the follower re-bootstraps.
+				return
+			}
+			rc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if err := replica.WriteRecord(w, f.shard, f.payload); err != nil {
+				return
+			}
+			// Drain whatever else is queued before flushing once.
+			for drained := false; !drained; {
+				select {
+				case f, ok := <-sub.ch:
+					if !ok {
+						return
+					}
+					if err := replica.WriteRecord(w, f.shard, f.payload); err != nil {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			rc.Flush()
+		case <-tick.C:
+			rc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if err := replica.WriteHeartbeat(w, e.dur.hub.shippedLSN()); err != nil {
+				return
+			}
+			rc.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleReplicate serves GET /replicate for the classification workload.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	serveReplicate(&s.engine, func(sub *replSub) (persist.Manifest, *os.File, uint64, error) {
+		return s.checkpointSubscribe(func(w io.Writer, trees []*core.MultiTree) error {
+			return persist.EncodeMultiTrees(w, trees)
+		}, sub)
+	}, replica.WorkloadClassify, w, r)
+}
+
+// handleReplicate serves GET /replicate for the clustering workload.
+func (s *ClusterServer) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	serveReplicate(&s.engine, func(sub *replSub) (persist.Manifest, *os.File, uint64, error) {
+		return s.checkpointSubscribe(s.encodeSet, sub)
+	}, replica.WorkloadCluster, w, r)
+}
+
+// ReplicateHandler returns an http.Handler exposing only /replicate —
+// for serving the replication stream on a separate listener
+// (-replicate-addr) so follower traffic does not share the public port.
+func (s *Server) ReplicateHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replicate", s.handleReplicate)
+	return mux
+}
+
+// ReplicateHandler is the clustering form of Server.ReplicateHandler.
+func (s *ClusterServer) ReplicateHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replicate", s.handleReplicate)
+	return mux
+}
+
+// Promote turns this server into the primary of a new line of
+// succession: the fencing epoch is bumped and durably committed via a
+// fresh checkpoint, and any follower/fenced role state is dropped.
+// Callers should stop their replication tailer first.
+func (s *Server) Promote() error { return s.promote(s.Checkpoint) }
+
+// Promote is the clustering form of Server.Promote.
+func (s *ClusterServer) Promote() error { return s.promote(s.Checkpoint) }

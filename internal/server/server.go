@@ -288,6 +288,9 @@ func (s *Server) Insert(x []float64, label int) error {
 	if s.Recovering() {
 		return errRecovering
 	}
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
 	idx := shardIndex(x, len(s.shards))
 	sh := s.shards[idx]
 	var rec []byte
@@ -324,6 +327,39 @@ func (s *Server) Insert(x []float64, label int) error {
 // Learn is Insert under the name stream.Engine expects, so
 // stream.RunBatch can drive a live server for ingest-while-serving.
 func (s *Server) Learn(x []float64, label int) error { return s.Insert(x, label) }
+
+// ApplyReplicated applies one WAL record shipped from a primary to the
+// given shard, through the follower's own log-before-apply path — the
+// replica's on-disk state is itself durable and byte-identical to what
+// the primary logged. Used by the replication tailer; not a client API.
+func (s *Server) ApplyReplicated(shard int, payload []byte) error {
+	if s.Recovering() {
+		return errRecovering
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("server: replicated record for shard %d of %d", shard, len(s.shards))
+	}
+	label, x, err := decodeClassRecord(s.dim, payload)
+	if err != nil {
+		return err
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	if s.durableOn() {
+		if err := s.logAppend(shard, payload); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("server: wal: %w", err)
+		}
+	}
+	err = sh.tree.Insert(x, label)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.inserts.Add(1)
+	s.repl.applied.Add(1)
+	return nil
+}
 
 // ClassifyBatchBudgets classifies xs[i] with budget budgets[i] using a
 // pool of workers (≤ 0 = GOMAXPROCS, matching the core.Classifier
@@ -445,6 +481,22 @@ type Stats struct {
 	WALReplayed        int64  `json:"wal_replayed"`
 	WALDroppedRecords  int64  `json:"wal_dropped_records"`
 	SnapshotGeneration uint64 `json:"snapshot_generation"`
+	// Replication reports the primary/replica state: this process's role
+	// and fencing epoch, the shipped-LSN fan-out counters on a primary,
+	// and the applied-LSN / staleness bound on a follower. StalenessMs is
+	// the milliseconds since the follower last knew it matched the
+	// primary's shipped LSN (−1 before the first bootstrap completes); a
+	// caught-up follower's bound stays near the heartbeat interval, and a
+	// paused or disconnected tail makes it grow without limit.
+	Role           string `json:"role,omitempty"`
+	Epoch          uint64 `json:"epoch"`
+	Fenced         bool   `json:"fenced"`
+	FencedBy       uint64 `json:"fenced_by,omitempty"`
+	ReplFollowers  int64  `json:"repl_followers"`
+	ReplShippedLSN uint64 `json:"repl_shipped_lsn"`
+	AppliedLSN     uint64 `json:"applied_lsn"`
+	StalenessMs    int64  `json:"staleness_ms"`
+	ReplConnected  bool   `json:"repl_connected"`
 }
 
 // Stats returns a point-in-time summary of shard sizes and the

@@ -89,6 +89,23 @@ type Stats struct {
 	Bytes int64
 }
 
+// segmentFile is the slice of *os.File the log writes through. It
+// exists as a seam: fault-injection tests swap openSegmentFile to wrap
+// the segment in a file that fails on the Nth write or fsync, driving
+// the partial-append rollback and sticky-poison paths that real disks
+// only exercise when they are dying.
+type segmentFile interface {
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// openSegmentFile wraps a freshly created segment file. Production
+// leaves it as the identity; tests override it to inject faults.
+var openSegmentFile = func(f *os.File) segmentFile { return f }
+
 // Log is one shard's append log, safe for concurrent use. Open it with
 // Open, append with Append, and bracket checkpoints with Rotate +
 // RemoveBefore.
@@ -97,7 +114,7 @@ type Log struct {
 	opts Options
 
 	mu      sync.Mutex
-	f       *os.File
+	f       segmentFile
 	seg     uint64
 	size    int64
 	dirty   bool
@@ -143,7 +160,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, f: f, seg: next}
+	l := &Log{dir: dir, opts: opts, f: openSegmentFile(f), seg: next}
 	if opts.FsyncEvery > 0 {
 		l.stop = make(chan struct{})
 		l.done = make(chan struct{})
@@ -293,7 +310,7 @@ func (l *Log) rotateLocked() error {
 		f.Close()
 		return err
 	}
-	l.f, l.seg, l.size = f, next, 0
+	l.f, l.seg, l.size = openSegmentFile(f), next, 0
 	return nil
 }
 
@@ -318,6 +335,26 @@ func (l *Log) RemoveBefore(seg uint64) error {
 		}
 	}
 	return first
+}
+
+// NextSegment reports the segment index a future Open of dir would
+// start appending into: one past the highest existing segment, or 1
+// for a missing or empty directory. Replication bootstrap uses it to
+// point a freshly written manifest's ShardStart at segments that do
+// not exist yet, so replay after the shipped snapshot reads nothing
+// stale.
+func NextSegment(dir string) (uint64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if len(segs) == 0 {
+		return 1, nil
+	}
+	return segs[len(segs)-1] + 1, nil
 }
 
 // Segment returns the active segment's index.
