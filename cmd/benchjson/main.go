@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -25,6 +27,7 @@ import (
 
 	"bayestree/internal/clustree"
 	"bayestree/internal/core"
+	"bayestree/internal/loadgen"
 	"bayestree/internal/replica"
 	"bayestree/internal/server"
 )
@@ -37,6 +40,10 @@ type result struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra carries cell-specific metrics that don't fit the ns/op
+	// shape — the loadgen cells put tail percentiles and quality
+	// fractions here.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // report is the emitted JSON document.
@@ -94,6 +101,15 @@ func main() {
 		run("cluster_ingest/shards=4/budget=8/wal=off", benchIngestWAL(4, 8, "off")),
 		run("cluster_ingest/shards=4/budget=8/wal=group", benchIngestWAL(4, 8, "group")),
 	)
+	// End-to-end serving cells from a short closed-loop loadgen run over
+	// HTTP: ns_per_op is the p99 latency, ops_per_sec the achieved
+	// throughput, and extra carries the rest of the tail plus the
+	// quality-under-load fractions — so the trend file tracks what a
+	// client sees, not just what the engine costs in process.
+	rep.Benchmarks = append(rep.Benchmarks,
+		loadgenCell(loadgen.WorkloadClassify),
+		loadgenCell(loadgen.WorkloadCluster),
+	)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -121,6 +137,61 @@ func run(name string, fn func(b *testing.B)) result {
 	return result{
 		Name: name, N: r.N, NsPerOp: nsPerOp, OpsPerSec: ops,
 		BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// loadgenCell runs a short closed-loop loadgen scenario against an
+// in-process server of the given workload and shapes the report as one
+// benchmark cell.
+func loadgenCell(wl loadgen.Workload) result {
+	var handler http.Handler
+	var closeSrv func()
+	switch wl {
+	case loadgen.WorkloadClassify:
+		s, err := server.NewEmpty(4, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, server.Config{})
+		if err != nil {
+			fatalf("loadgen cell: %v", err)
+		}
+		handler, closeSrv = s.Handler(), s.Close
+	case loadgen.WorkloadCluster:
+		s, err := server.NewCluster(clustree.DefaultConfig(2), 4, server.Config{}, server.ClusterOptions{SnapshotEvery: -1})
+		if err != nil {
+			fatalf("loadgen cell: %v", err)
+		}
+		handler, closeSrv = s.Handler(), s.Close
+	}
+	ts := httptest.NewServer(handler)
+	defer func() {
+		ts.Close()
+		closeSrv()
+	}()
+	rep, err := loadgen.Run(context.Background(), loadgen.Scenario{
+		Target:      ts.URL,
+		Workload:    wl,
+		Concurrency: 8,
+		Duration:    2 * time.Second,
+		Mix:         loadgen.Mix{InsertFraction: 0.2, Budget: 32},
+		Seed:        1,
+	})
+	if err != nil {
+		fatalf("loadgen cell: %v", err)
+	}
+	all := rep.Latency["all"]
+	return result{
+		Name:      fmt.Sprintf("loadgen_closed/workload=%s/conc=8", wl),
+		N:         int(rep.Requests),
+		NsPerOp:   all.P99Ms * 1e6,
+		OpsPerSec: rep.AchievedRPS,
+		Extra: map[string]float64{
+			"p50_ms":            all.P50Ms,
+			"p90_ms":            all.P90Ms,
+			"p999_ms":           all.P999Ms,
+			"max_ms":            all.MaxMs,
+			"error_rate":        rep.ErrorRate,
+			"granted_fraction":  rep.Quality.GrantedFraction,
+			"degraded_fraction": rep.Quality.DegradedFraction,
+			"accuracy":          rep.Quality.Accuracy,
+		},
 	}
 }
 

@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// This file defines the open-loop arrival processes: each answers "how
+// long until the next request enters the system", independent of how
+// long the server takes to answer — the property that makes open-loop
+// load honest about queueing (a slow server does not slow the offered
+// stream down, it just accumulates in-flight work). The closed-loop
+// mode has no arrival process at all: a fixed worker count issues
+// requests back to back, so offered load tracks service rate by
+// construction.
+
+// Process is an open-loop arrival process: Gap returns the interval
+// between one request and the next, given the elapsed time since the
+// scenario started (so rate-modulated processes can look up where in
+// their cycle they are). Implementations must be deterministic
+// functions of (rng, elapsed).
+type Process interface {
+	// Name identifies the process in reports and flags.
+	Name() string
+	// Gap draws the next interarrival interval.
+	Gap(rng *rand.Rand, elapsed time.Duration) time.Duration
+}
+
+// expGap draws an exponential interarrival gap for a Poisson process of
+// the given rate (requests per second). Rates ≤ 0 stall forever-ish
+// (an hour), which a scenario deadline always cuts short.
+func expGap(rng *rand.Rand, rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Hour
+	}
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// Poisson is the memoryless baseline: exponential interarrival gaps at
+// a constant rate — the workload-independent "steady traffic" model.
+type Poisson struct {
+	// Rate is the offered load in requests per second.
+	Rate float64
+}
+
+// Name implements Process.
+func (p Poisson) Name() string { return "poisson" }
+
+// Gap implements Process.
+func (p Poisson) Gap(rng *rand.Rand, _ time.Duration) time.Duration {
+	return expGap(rng, p.Rate)
+}
+
+// Bursty is an on/off modulated Poisson process: within each Period the
+// first Duty fraction arrives at OnRate, the rest at OffRate — the
+// square-wave traffic that stresses the admission controller's burst
+// capacity and recovery.
+type Bursty struct {
+	// OnRate and OffRate are the two phase rates in requests per second.
+	OnRate, OffRate float64
+	// Period is the on+off cycle length.
+	Period time.Duration
+	// Duty is the fraction of each period spent in the on phase, in
+	// (0, 1).
+	Duty float64
+}
+
+// Name implements Process.
+func (b Bursty) Name() string { return "bursty" }
+
+// Gap implements Process.
+func (b Bursty) Gap(rng *rand.Rand, elapsed time.Duration) time.Duration {
+	phase := math.Mod(elapsed.Seconds(), b.Period.Seconds())
+	rate := b.OffRate
+	if phase < b.Duty*b.Period.Seconds() {
+		rate = b.OnRate
+	}
+	return expGap(rng, rate)
+}
+
+// Diurnal ramps the rate along a raised cosine from Base up to Peak and
+// back over each Period — a compressed day/night cycle, so one scenario
+// sweeps the whole load range and the quality-vs-load curve comes from
+// a single run.
+type Diurnal struct {
+	// Base and Peak are the trough and crest rates in requests per
+	// second.
+	Base, Peak float64
+	// Period is one full cycle.
+	Period time.Duration
+}
+
+// Name implements Process.
+func (d Diurnal) Name() string { return "diurnal" }
+
+// rate is the instantaneous offered rate at elapsed time t.
+func (d Diurnal) rate(t time.Duration) float64 {
+	frac := math.Mod(t.Seconds(), d.Period.Seconds()) / d.Period.Seconds()
+	return d.Base + (d.Peak-d.Base)*0.5*(1-math.Cos(2*math.Pi*frac))
+}
+
+// Gap implements Process.
+func (d Diurnal) Gap(rng *rand.Rand, elapsed time.Duration) time.Duration {
+	return expGap(rng, d.rate(elapsed))
+}
+
+// HotKey is the adversarial skew process: Poisson timing at Rate, but a
+// HotFraction of requests carry one fixed "hot" observation — on a
+// sharded server they all hash to the same shard, so that shard's
+// write lock and that subtree's refinement become the bottleneck while
+// aggregate load looks moderate.
+type HotKey struct {
+	// Rate is the offered load in requests per second.
+	Rate float64
+	// HotFraction is the fraction of requests aimed at the hot key, in
+	// [0, 1].
+	HotFraction float64
+}
+
+// Name implements Process.
+func (h HotKey) Name() string { return "hotkey" }
+
+// Gap implements Process.
+func (h HotKey) Gap(rng *rand.Rand, _ time.Duration) time.Duration {
+	return expGap(rng, h.Rate)
+}
+
+// Hot reports whether the next request should target the hot key; the
+// workload generator consults this per request.
+func (h HotKey) Hot(rng *rand.Rand) bool {
+	return rng.Float64() < h.HotFraction
+}
+
+// hotMarker is implemented by processes that skew the key distribution;
+// the workload generator type-asserts for it.
+type hotMarker interface {
+	Hot(rng *rand.Rand) bool
+}
+
+// ProcessNames lists the selectable open-loop processes plus the
+// closed-loop mode, in flag-help order.
+var ProcessNames = []string{"poisson", "bursty", "diurnal", "hotkey", "closed"}
+
+// NewProcess builds the named open-loop process at the given base rate
+// (requests per second). Bursty runs 4× base in a 20% duty cycle over
+// 2s (same average as base); diurnal ramps 0.1×–2× base over 10s;
+// hotkey sends half the stream to one key. "closed" returns nil — the
+// runner treats a nil process as closed-loop.
+func NewProcess(name string, rate float64) (Process, error) {
+	switch name {
+	case "poisson":
+		return Poisson{Rate: rate}, nil
+	case "bursty":
+		return Bursty{OnRate: 4 * rate, OffRate: rate / 4, Period: 2 * time.Second, Duty: 0.2}, nil
+	case "diurnal":
+		return Diurnal{Base: rate / 10, Peak: 2 * rate, Period: 10 * time.Second}, nil
+	case "hotkey":
+		return HotKey{Rate: rate, HotFraction: 0.5}, nil
+	case "closed":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want one of %v)", name, ProcessNames)
+	}
+}

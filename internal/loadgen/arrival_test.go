@@ -1,0 +1,237 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Deterministic-seed tests pinning each arrival process's interarrival
+// distribution: sample a fixed-seed gap stream and check its moments
+// against the analytic values. Tolerances are wide enough to be
+// seed-stable (the streams are deterministic, so these never flake —
+// the bounds just document how close the sample gets).
+
+// sampleGaps draws n gaps from p with a fixed seed, advancing elapsed
+// time as a real scheduler would.
+func sampleGaps(p Process, seed int64, n int) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	gaps := make([]time.Duration, n)
+	var elapsed time.Duration
+	for i := range gaps {
+		g := p.Gap(rng, elapsed)
+		gaps[i] = g
+		elapsed += g
+	}
+	return gaps
+}
+
+// meanCV returns the sample mean (seconds) and coefficient of
+// variation of a gap stream.
+func meanCV(gaps []time.Duration) (mean, cv float64) {
+	var sum float64
+	for _, g := range gaps {
+		sum += g.Seconds()
+	}
+	mean = sum / float64(len(gaps))
+	var ss float64
+	for _, g := range gaps {
+		d := g.Seconds() - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/float64(len(gaps))) / mean
+}
+
+// TestPoissonGaps: exponential gaps have mean 1/rate and CV 1.
+func TestPoissonGaps(t *testing.T) {
+	const rate = 1000.0
+	gaps := sampleGaps(Poisson{Rate: rate}, 42, 20000)
+	mean, cv := meanCV(gaps)
+	if math.Abs(mean-1/rate) > 0.02/rate {
+		t.Fatalf("poisson mean gap = %.6fs, want ≈ %.6fs", mean, 1/rate)
+	}
+	if math.Abs(cv-1) > 0.05 {
+		t.Fatalf("poisson CV = %.3f, want ≈ 1 (exponential)", cv)
+	}
+}
+
+// TestPoissonDeterminism: the same seed yields the same gap stream —
+// the property that makes every scenario reproducible.
+func TestPoissonDeterminism(t *testing.T) {
+	a := sampleGaps(Poisson{Rate: 500}, 7, 1000)
+	b := sampleGaps(Poisson{Rate: 500}, 7, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := sampleGaps(Poisson{Rate: 500}, 8, 1000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical gap stream")
+	}
+}
+
+// TestPoissonZeroRate: a non-positive rate must stall, not spin.
+func TestPoissonZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if g := (Poisson{Rate: 0}).Gap(rng, 0); g < time.Minute {
+		t.Fatalf("zero-rate gap = %v, want a long stall", g)
+	}
+}
+
+// TestBurstyGaps pins the two phases: inside the duty window gaps are
+// exponential at OnRate, outside at OffRate.
+func TestBurstyGaps(t *testing.T) {
+	b := Bursty{OnRate: 2000, OffRate: 100, Period: 2 * time.Second, Duty: 0.25}
+	rng := rand.New(rand.NewSource(11))
+	var onSum, offSum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		// Fixed elapsed stamps in the middle of each phase.
+		onSum += b.Gap(rng, 100*time.Millisecond).Seconds()
+		offSum += b.Gap(rng, 1500*time.Millisecond).Seconds()
+	}
+	onMean, offMean := onSum/n, offSum/n
+	if math.Abs(onMean-1/b.OnRate) > 0.03/b.OnRate {
+		t.Fatalf("bursty on-phase mean gap = %.6fs, want ≈ %.6fs", onMean, 1/b.OnRate)
+	}
+	if math.Abs(offMean-1/b.OffRate) > 0.03/b.OffRate {
+		t.Fatalf("bursty off-phase mean gap = %.6fs, want ≈ %.6fs", offMean, 1/b.OffRate)
+	}
+	// The phase boundary sits exactly at Duty*Period, and wraps.
+	if r := phaseRate(b, 499*time.Millisecond); r != b.OnRate {
+		t.Fatalf("rate just before duty edge = %g, want OnRate", r)
+	}
+	if r := phaseRate(b, 501*time.Millisecond); r != b.OffRate {
+		t.Fatalf("rate just after duty edge = %g, want OffRate", r)
+	}
+	if r := phaseRate(b, 2*time.Second+100*time.Millisecond); r != b.OnRate {
+		t.Fatalf("rate after wrap = %g, want OnRate", r)
+	}
+}
+
+// phaseRate recovers the effective rate Bursty uses at elapsed t by
+// averaging many gaps at that frozen instant.
+func phaseRate(b Bursty, t time.Duration) float64 {
+	rng := rand.New(rand.NewSource(5))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += b.Gap(rng, t).Seconds()
+	}
+	mean := sum / n
+	// Snap to whichever configured rate is closer: the draw is random
+	// but 20k samples put the mean within a few percent.
+	if math.Abs(mean-1/b.OnRate) < math.Abs(mean-1/b.OffRate) {
+		return b.OnRate
+	}
+	return b.OffRate
+}
+
+// TestDiurnalRate pins the raised-cosine ramp analytically: trough at
+// phase 0, crest at half period, midpoint at quarter period, and
+// periodic wraparound.
+func TestDiurnalRate(t *testing.T) {
+	d := Diurnal{Base: 100, Peak: 900, Period: 10 * time.Second}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 100},
+		{5 * time.Second, 900},
+		{2500 * time.Millisecond, 500}, // midpoint of the ramp
+		{10 * time.Second, 100},        // wraps back to the trough
+		{15 * time.Second, 900},        // second cycle's crest
+	}
+	for _, c := range cases {
+		if got := d.rate(c.at); math.Abs(got-c.want) > 1e-6 {
+			t.Fatalf("diurnal rate at %v = %g, want %g", c.at, got, c.want)
+		}
+	}
+	// Gaps at the crest must be drawn at the crest rate.
+	rng := rand.New(rand.NewSource(13))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += d.Gap(rng, 5*time.Second).Seconds()
+	}
+	if mean := sum / n; math.Abs(mean-1/d.Peak) > 0.03/d.Peak {
+		t.Fatalf("diurnal crest mean gap = %.6fs, want ≈ %.6fs", mean, 1/d.Peak)
+	}
+}
+
+// TestHotKeyGaps: timing is plain Poisson; the skew lives in Hot(),
+// which must hit its configured fraction and implement hotMarker.
+func TestHotKeyGaps(t *testing.T) {
+	h := HotKey{Rate: 1000, HotFraction: 0.3}
+	gaps := sampleGaps(h, 17, 20000)
+	mean, cv := meanCV(gaps)
+	if math.Abs(mean-1/h.Rate) > 0.02/h.Rate {
+		t.Fatalf("hotkey mean gap = %.6fs, want ≈ %.6fs", mean, 1/h.Rate)
+	}
+	if math.Abs(cv-1) > 0.05 {
+		t.Fatalf("hotkey CV = %.3f, want ≈ 1", cv)
+	}
+	var marker hotMarker = h // compile-time: HotKey feeds the generator's skew
+	rng := rand.New(rand.NewSource(19))
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if marker.Hot(rng) {
+			hot++
+		}
+	}
+	if frac := float64(hot) / n; math.Abs(frac-h.HotFraction) > 0.02 {
+		t.Fatalf("hot fraction = %.3f, want ≈ %.2f", frac, h.HotFraction)
+	}
+}
+
+// TestNewProcess pins the flag-name mapping, the closed-loop nil, and
+// the derived parameterisations (bursty keeps the requested average
+// rate; diurnal spans it).
+func TestNewProcess(t *testing.T) {
+	for _, name := range []string{"poisson", "bursty", "diurnal", "hotkey"} {
+		p, err := NewProcess(name, 100)
+		if err != nil || p == nil {
+			t.Fatalf("NewProcess(%q) = %v, %v", name, p, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("NewProcess(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := NewProcess("closed", 100); err != nil || p != nil {
+		t.Fatalf("NewProcess(closed) = %v, %v, want nil, nil", p, err)
+	}
+	if _, err := NewProcess("sawtooth", 100); err == nil {
+		t.Fatal("NewProcess(sawtooth) did not error")
+	}
+	// Bursty's duty cycle preserves the requested average rate:
+	// duty*on + (1-duty)*off = rate.
+	b := mustProcess(t, "bursty", 100).(Bursty)
+	avg := b.Duty*b.OnRate + (1-b.Duty)*b.OffRate
+	if math.Abs(avg-100) > 1e-9 {
+		t.Fatalf("bursty average rate = %g, want 100", avg)
+	}
+	d := mustProcess(t, "diurnal", 100).(Diurnal)
+	if d.Base >= 100 || d.Peak <= 100 {
+		t.Fatalf("diurnal [%g, %g] does not span the base rate 100", d.Base, d.Peak)
+	}
+}
+
+// mustProcess builds a process or fails the test.
+func mustProcess(t *testing.T, name string, rate float64) Process {
+	t.Helper()
+	p, err := NewProcess(name, rate)
+	if err != nil {
+		t.Fatalf("NewProcess(%q): %v", name, err)
+	}
+	return p
+}

@@ -1,0 +1,210 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// This file is the latency recorder: an HDR-style log-linear histogram
+// whose buckets are atomic counters striped across cache lines, so any
+// number of in-flight requests record concurrently without a lock and
+// without sharing hot cache lines. Value resolution is bounded
+// relative error (one part in histSubBuckets, ~3%), which is what a
+// percentile report needs — the absolute error of p999 grows with
+// p999, never with the recording rate.
+
+const (
+	// histSubBits is the per-power-of-two resolution: 2^histSubBits
+	// linear sub-buckets per binary magnitude, so recorded values are
+	// accurate to within 1/2^histSubBits relative error.
+	histSubBits = 5
+	// histSubBuckets is the sub-bucket count per magnitude.
+	histSubBuckets = 1 << histSubBits
+	// histMaxExp caps the recordable magnitude: values at or above
+	// 2^histMaxExp ns (~18 minutes) clamp into the top bucket.
+	histMaxExp = 40
+	// histBuckets is the total bucket count: the first magnitude is
+	// linear (values < histSubBuckets land in their own bucket exactly),
+	// then histSubBuckets per magnitude up to histMaxExp.
+	histBuckets = (histMaxExp - histSubBits + 1) * histSubBuckets
+	// histStripes is how many independent copies of the bucket array
+	// recorders are spread over; percentile reads fold them together.
+	histStripes = 8
+)
+
+// histStripe is one cache-padded copy of the bucket counters plus its
+// share of the count/sum totals, so recording touches no cross-stripe
+// cache line.
+type histStripe struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // total ns, for Mean
+	// pad keeps adjacent stripes off one another's cache lines.
+	_ [6]uint64
+}
+
+// Histogram is a lock-free latency histogram with bounded relative
+// error. The zero value is ready to use; Record and the read side
+// (Percentile, Count, Max) are all safe to call concurrently.
+type Histogram struct {
+	stripes [histStripes]histStripe
+	max     atomic.Int64 // largest recorded ns (exact, not bucketed)
+}
+
+// bucketIndex maps a nanosecond value to its bucket. Values below
+// histSubBuckets are exact; above, the top histSubBits bits after the
+// leading one select a linear sub-bucket within the binary magnitude.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // position of leading one, ≥ histSubBits
+	if exp >= histMaxExp {
+		return histBuckets - 1
+	}
+	sub := int(v>>(uint(exp)-histSubBits)) & (histSubBuckets - 1)
+	return (exp-histSubBits+1)*histSubBuckets + sub
+}
+
+// bucketValue is the representative (upper-edge) nanosecond value of a
+// bucket — the value Percentile reports for samples that landed there.
+func bucketValue(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	exp := idx/histSubBuckets + histSubBits - 1
+	sub := idx % histSubBuckets
+	return (int64(histSubBuckets+sub) + 1) << (uint(exp) - histSubBits)
+}
+
+// Record adds one latency observation. Safe for any number of
+// concurrent callers; each lands on a stripe derived from the caller's
+// stack address, so goroutines recording concurrently spread across
+// stripes instead of sharing one hot cache line.
+func (h *Histogram) Record(d time.Duration) {
+	v := d.Nanoseconds()
+	if v < 0 {
+		v = 0
+	}
+	var probe byte
+	s := &h.stripes[(uintptr(unsafe.Pointer(&probe))>>6)%histStripes]
+	s.counts[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for s := range h.stripes {
+		n += h.stripes[s].count.Load()
+	}
+	return n
+}
+
+// Max returns the largest recorded latency, exact (not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of recorded latencies.
+func (h *Histogram) Mean() time.Duration {
+	var n, sum uint64
+	for s := range h.stripes {
+		n += h.stripes[s].count.Load()
+		sum += h.stripes[s].sum.Load()
+	}
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(sum / n)
+}
+
+// fold sums the stripes into one bucket array plus the total count.
+func (h *Histogram) fold() (counts [histBuckets]uint64, total uint64) {
+	for s := range h.stripes {
+		for i := range counts {
+			c := h.stripes[s].counts[i].Load()
+			counts[i] += c
+			total += c
+		}
+	}
+	return counts, total
+}
+
+// Percentile returns the latency at quantile q in [0, 1]: the smallest
+// bucket upper edge such that at least q of the recorded observations
+// are at or below it (within the histogram's ~3% relative resolution).
+// The top quantile is clamped to the exact recorded Max. Zero
+// observations yield zero.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	counts, total := h.fold()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based ceil so q=0.5 of 10
+	// observations is the 5th.
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i := range counts {
+		seen += counts[i]
+		if seen >= rank {
+			v := bucketValue(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot captures the standard percentile report in one fold.
+type Snapshot struct {
+	// Count is the number of observations summarised.
+	Count uint64 `json:"count"`
+	// MeanMs through MaxMs are latencies in milliseconds.
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// millis converts a duration to float milliseconds.
+func millis(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// Snapshot returns the standard report of the current contents.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count:  h.Count(),
+		MeanMs: millis(h.Mean()),
+		P50Ms:  millis(h.Percentile(0.50)),
+		P90Ms:  millis(h.Percentile(0.90)),
+		P99Ms:  millis(h.Percentile(0.99)),
+		P999Ms: millis(h.Percentile(0.999)),
+		MaxMs:  millis(h.Max()),
+	}
+}

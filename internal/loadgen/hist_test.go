@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The histogram's contract: percentiles within 1/histSubBuckets
+// relative error, an exact max, and totals that survive any number of
+// concurrent recorders. All deterministic — no clocks involved.
+
+// TestHistogramBucketRoundTrip pins the bucket math: every value's
+// representative is within the documented relative error, and the small
+// linear range is exact.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	for v := int64(0); v < histSubBuckets; v++ {
+		idx := bucketIndex(v)
+		if got := bucketValue(idx); got != v {
+			t.Fatalf("linear range: value %d maps to bucket %d with representative %d", v, idx, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		v := int64(rng.Intn(1 << 40))
+		rep := bucketValue(bucketIndex(v))
+		// The representative is the bucket's upper edge: never below the
+		// value, and at most one sub-bucket width above it.
+		if rep < v {
+			t.Fatalf("value %d got representative %d below it", v, rep)
+		}
+		if float64(rep-v) > float64(v)/histSubBuckets+1 {
+			t.Fatalf("value %d got representative %d, relative error %.4f > 1/%d",
+				v, rep, float64(rep-v)/float64(v), histSubBuckets)
+		}
+	}
+}
+
+// TestHistogramPercentiles pins the percentile math on a known
+// distribution: 1..1000 µs recorded once each, so pX must be X% of a
+// millisecond within bucket resolution, and max is exact.
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	if got := h.Max(); got != 1000*time.Microsecond {
+		t.Fatalf("max = %v, want 1ms", got)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.90, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{0.999, 999 * time.Microsecond},
+	}
+	for _, c := range cases {
+		got := h.Percentile(c.q)
+		// Within one sub-bucket of relative error, and never below the
+		// true quantile (representatives are upper edges).
+		lo := c.want
+		hi := c.want + c.want/histSubBuckets + time.Microsecond
+		if got < lo || got > hi {
+			t.Fatalf("p%g = %v, want in [%v, %v]", c.q*100, got, lo, hi)
+		}
+	}
+	// Degenerate inputs.
+	var empty Histogram
+	if got := empty.Percentile(0.99); got != 0 {
+		t.Fatalf("empty p99 = %v, want 0", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+}
+
+// TestHistogramSingleValue: every percentile of a one-point histogram
+// is that point (clamped to the exact max).
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(123456 * time.Nanosecond)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Percentile(q); got != 123456*time.Nanosecond {
+			t.Fatalf("p%g = %v, want 123456ns", q*100, got)
+		}
+	}
+	if got := h.Mean(); got != 123456*time.Nanosecond {
+		t.Fatalf("mean = %v, want 123456ns", got)
+	}
+}
+
+// TestHistogramConcurrentRecord: hammering Record from many goroutines
+// loses nothing (the lock-free striping claim, run under -race in CI).
+func TestHistogramConcurrentRecord(t *testing.T) {
+	const workers, per = 16, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Intn(1e6)) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d after concurrent records, want %d", got, workers*per)
+	}
+	if h.Percentile(0.5) <= 0 || h.Percentile(0.5) > time.Millisecond {
+		t.Fatalf("p50 = %v, want in (0, 1ms]", h.Percentile(0.5))
+	}
+}
+
+// TestSnapshotShape: the snapshot carries the same numbers the
+// accessors report, in milliseconds.
+func TestSnapshotShape(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("snapshot count = %d, want 100", s.Count)
+	}
+	if s.MaxMs != 100 {
+		t.Fatalf("snapshot max = %vms, want 100", s.MaxMs)
+	}
+	if s.P50Ms < 50 || s.P50Ms > 52.5 {
+		t.Fatalf("snapshot p50 = %vms, want ≈50", s.P50Ms)
+	}
+	if s.MeanMs < 50 || s.MeanMs > 51 {
+		t.Fatalf("snapshot mean = %vms, want ≈50.5", s.MeanMs)
+	}
+}

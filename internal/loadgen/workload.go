@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"math/rand"
+)
+
+// This file generates the request mix. The classification workload
+// interleaves labelled inserts with classify queries drawn from a
+// held-out labelled set — so the harness can score every answer against
+// ground truth and report accuracy as a function of load, not just
+// latency. The clustering workload is pure budgeted ingest. Both draw
+// from the same three-blob synthetic distribution the repo's benchmarks
+// and serving tests use, so loadgen numbers sit on the same data as the
+// existing accuracy records.
+
+// Request kinds, used as histogram/report keys.
+const (
+	// KindClassify is a POST /classify drawn from the labelled holdout.
+	KindClassify = "classify"
+	// KindInsert is a labelled POST /insert.
+	KindInsert = "insert"
+	// KindIngest is a clustering POST /cluster.
+	KindIngest = "ingest"
+)
+
+// Workload selects which server the scenario drives.
+type Workload string
+
+// The two served workloads.
+const (
+	// WorkloadClassify drives a classification server (serveclass).
+	WorkloadClassify Workload = "classify"
+	// WorkloadCluster drives a clustering server (servecluster).
+	WorkloadCluster Workload = "cluster"
+)
+
+// classDim is the dimensionality of the synthetic classification
+// distribution (three separated blobs, matching the serving tests).
+const classDim = 3
+
+// clusterDim is the dimensionality of the synthetic clustering stream.
+const clusterDim = 2
+
+// classPoint draws one labelled observation from the three-blob
+// distribution.
+func classPoint(rng *rand.Rand) ([]float64, int) {
+	label := rng.Intn(3)
+	return []float64{
+		float64(label)*3 + 0.4*rng.NormFloat64(),
+		-float64(label)*3 + 0.4*rng.NormFloat64(),
+		rng.NormFloat64(),
+	}, label
+}
+
+// clusterPoint draws one unlabelled clustering observation.
+func clusterPoint(rng *rand.Rand) []float64 {
+	return []float64{rng.Float64(), rng.Float64()}
+}
+
+// Holdout is a fixed labelled evaluation set replayed through
+// /classify: every classify request carries a known true label, so the
+// report's accuracy is measured, not assumed.
+type Holdout struct {
+	// X and Y are the held-out points and their true labels.
+	X [][]float64
+	Y []int
+}
+
+// NewHoldout draws n labelled points deterministically from seed.
+func NewHoldout(n int, seed int64) *Holdout {
+	rng := rand.New(rand.NewSource(seed))
+	h := &Holdout{X: make([][]float64, n), Y: make([]int, n)}
+	for i := range h.X {
+		h.X[i], h.Y[i] = classPoint(rng)
+	}
+	return h
+}
+
+// Mix parameterises the request mix of one scenario.
+type Mix struct {
+	// InsertFraction is the fraction of classification-workload requests
+	// that are inserts (the rest are classify queries); ignored by the
+	// clustering workload, which is all ingest.
+	InsertFraction float64
+	// Budget is the per-request anytime budget (0 = server default,
+	// negative = as much as the cap and admission allow).
+	Budget int
+}
+
+// request is one generated request, ready to send.
+type request struct {
+	kind string
+	path string
+	body []byte
+	// wantLabel is the true label of a holdout classify point, -1
+	// otherwise.
+	wantLabel int
+}
+
+// reqBody is the one JSON shape all three endpoints accept: /classify
+// and /cluster read x+budget, /insert reads x+label.
+type reqBody struct {
+	X      []float64 `json:"x"`
+	Budget int       `json:"budget,omitempty"`
+	Label  int       `json:"label"`
+}
+
+// generator produces the request stream for one scenario. Not safe for
+// concurrent use; the runner gives each worker its own.
+type generator struct {
+	workload Workload
+	mix      Mix
+	holdout  *Holdout
+	hot      hotMarker
+	hotClass []float64 // fixed hot observation, classification dim
+	hotClust []float64 // fixed hot observation, clustering dim
+	rng      *rand.Rand
+	cursor   int
+}
+
+// newGenerator builds a per-worker generator. proc supplies key skew
+// when it is a hotMarker (the adversarial hot-key process); holdout may
+// be nil for the clustering workload.
+func newGenerator(workload Workload, mix Mix, holdout *Holdout, proc Process, seed int64) *generator {
+	g := &generator{
+		workload: workload,
+		mix:      mix,
+		holdout:  holdout,
+		rng:      rand.New(rand.NewSource(seed)),
+		// The hot key is one fixed in-distribution point: every hot
+		// request hashes to the same shard and descends the same subtree.
+		hotClass: []float64{3.0, -3.0, 0.0},
+		hotClust: []float64{0.5, 0.5},
+	}
+	if hm, ok := proc.(hotMarker); ok {
+		g.hot = hm
+	}
+	return g
+}
+
+// next generates one request.
+func (g *generator) next() request {
+	hot := g.hot != nil && g.hot.Hot(g.rng)
+	if g.workload == WorkloadCluster {
+		x := clusterPoint(g.rng)
+		if hot {
+			x = g.hotClust
+		}
+		body, _ := json.Marshal(reqBody{X: x, Budget: g.mix.Budget})
+		return request{kind: KindIngest, path: "/cluster", body: body, wantLabel: -1}
+	}
+	if g.rng.Float64() < g.mix.InsertFraction {
+		x, label := classPoint(g.rng)
+		if hot {
+			x, label = g.hotClass, 1
+		}
+		body, _ := json.Marshal(reqBody{X: x, Label: label})
+		return request{kind: KindInsert, path: "/insert", body: body, wantLabel: -1}
+	}
+	want := -1
+	var x []float64
+	if hot {
+		x = g.hotClass
+	} else {
+		i := g.cursor % len(g.holdout.X)
+		g.cursor++
+		x, want = g.holdout.X[i], g.holdout.Y[i]
+	}
+	body, _ := json.Marshal(reqBody{X: x, Budget: g.mix.Budget})
+	return request{kind: KindClassify, path: "/classify", body: body, wantLabel: want}
+}

@@ -256,6 +256,9 @@ type ClusterResult struct {
 	// Parked reports whether the object was buffered in an inner node
 	// (to hitchhike leafward later) rather than reaching leaf level.
 	Parked bool `json:"parked"`
+	// Degraded reports that admission clipped this ingest's descent
+	// budget (Granted < Requested) — the per-response overload signal.
+	Degraded bool `json:"degraded"`
 }
 
 // Insert serves one anytime ingest: the requested descent budget is
@@ -307,7 +310,10 @@ func (s *ClusterServer) insertResolved(x []float64, requested int) (ClusterResul
 	}
 	s.inserts.Add(1)
 	s.maybeRecord(ts)
-	return ClusterResult{Shard: idx, Requested: requested, Granted: granted, NodesRead: visited, Parked: parked}, nil
+	return ClusterResult{
+		Shard: idx, Requested: requested, Granted: granted,
+		NodesRead: visited, Parked: parked, Degraded: granted < requested,
+	}, nil
 }
 
 // ApplyReplicated applies one WAL record shipped from a primary to the

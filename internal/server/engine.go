@@ -97,6 +97,7 @@ type engine[M Model] struct {
 	nodesRequested atomic.Int64
 	nodesGranted   atomic.Int64
 	nodesRead      atomic.Int64
+	degraded       atomic.Int64
 	decayEpoch     atomic.Int64
 	pointsPruned   atomic.Int64
 	subtreesPruned atomic.Int64
@@ -273,6 +274,9 @@ func (e *engine[M]) grant(requested int) (granted int, finish func(read int)) {
 	e.requests.Add(1)
 	e.nodesRequested.Add(int64(requested))
 	e.nodesGranted.Add(int64(granted))
+	if granted < requested {
+		e.degraded.Add(1)
+	}
 	return granted, func(read int) {
 		if granted > read {
 			e.admit.refund(granted - read)
@@ -348,6 +352,7 @@ func (e *engine[M]) baseStats() Stats {
 		NodesRequested: e.nodesRequested.Load(),
 		NodesGranted:   e.nodesGranted.Load(),
 		NodesRead:      e.nodesRead.Load(),
+		Degraded:       e.degraded.Load(),
 		Draining:       e.draining.Load(),
 		DecayEnabled:   e.decayOn,
 		DecayEpoch:     e.decayEpoch.Load(),

@@ -198,6 +198,11 @@ type Result struct {
 	// NodesRead is the refinement work actually spent; it can fall short
 	// of Granted when the models exhaust early.
 	NodesRead int `json:"nodes_read"`
+	// Degraded reports that admission clipped this answer: Granted fell
+	// short of Requested, so the answer came from a coarser model level
+	// than asked for. This is the per-response load signal a client (or
+	// the load harness) reads without touching /stats.
+	Degraded bool `json:"degraded"`
 }
 
 // Classify serves one anytime classification: the requested budget is
@@ -271,7 +276,10 @@ func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
 			best = c
 		}
 	}
-	return Result{Label: s.labels[best], Requested: requested, Granted: granted, NodesRead: read}, nil
+	return Result{
+		Label: s.labels[best], Requested: requested, Granted: granted,
+		NodesRead: read, Degraded: granted < requested,
+	}, nil
 }
 
 // Insert routes a labelled observation to its shard by content hash and
@@ -456,7 +464,10 @@ type Stats struct {
 	NodesRequested int64   `json:"nodes_requested"`
 	NodesGranted   int64   `json:"nodes_granted"`
 	NodesRead      int64   `json:"nodes_read"`
-	Draining       bool    `json:"draining"`
+	// Degraded counts requests whose granted budget fell short of what
+	// they asked for — with Requests, the load signal as a rate.
+	Degraded int64 `json:"degraded_requests"`
+	Draining bool  `json:"draining"`
 	// Nodes is the total tree node count across shards — the bounded-
 	// memory observable of a decaying server.
 	Nodes int `json:"nodes"`
