@@ -22,12 +22,14 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"bayestree/internal/clustree"
 	"bayestree/internal/core"
 	"bayestree/internal/loadgen"
+	"bayestree/internal/registry"
 	"bayestree/internal/replica"
 	"bayestree/internal/server"
 )
@@ -110,6 +112,14 @@ func main() {
 		loadgenCell(loadgen.WorkloadClassify),
 		loadgenCell(loadgen.WorkloadCluster),
 	)
+	// Multi-tenant registry cells: what a request pays to touch a paged-
+	// out tenant (cold-load p99), and what the whole process sustains
+	// when Zipf traffic over many tenants continuously churns a small
+	// resident set.
+	rep.Benchmarks = append(rep.Benchmarks,
+		registryColdLoadCell(),
+		registryChurnCell(),
+	)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -191,6 +201,145 @@ func loadgenCell(wl loadgen.Workload) result {
 			"granted_fraction":  rep.Quality.GrantedFraction,
 			"degraded_fraction": rep.Quality.DegradedFraction,
 			"accuracy":          rep.Quality.Accuracy,
+		},
+	}
+}
+
+// registryColdLoadCell measures the page-in price: tenants holding a
+// checkpointed model are evicted and touched again, and the sampled
+// reload latencies (clean-eviction path: snapshot decode only, no WAL
+// replay) are reported with the p99 as ns_per_op — the bounded-latency
+// disk fetch claim of the registry, as a number.
+func registryColdLoadCell() result {
+	dir, err := os.MkdirTemp("", "benchjson-registry-*")
+	if err != nil {
+		fatalf("registry cell: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	r, err := registry.Open(registry.Options{
+		Dir:         dir,
+		MaxResident: 64,
+		FsyncEvery:  5 * time.Millisecond,
+		Defaults:    registry.TenantConfig{Dim: 3, Labels: []int{0, 1, 2}},
+	}, registry.ClassifyBackend())
+	if err != nil {
+		fatalf("registry cell: %v", err)
+	}
+	defer r.Close()
+
+	const tenants = 16
+	const obs = 500
+	rng := rand.New(rand.NewSource(1))
+	for t := 0; t < tenants; t++ {
+		err := r.With(fmt.Sprintf("cl%03d", t), true, func(s *server.Server) error {
+			for i := 0; i < obs; i++ {
+				x, label := classPoint(rng)
+				if err := s.Insert(x, label); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fatalf("registry cell: %v", err)
+		}
+	}
+
+	var samples []float64
+	for round := 0; round < 8; round++ {
+		for t := 0; t < tenants; t++ {
+			name := fmt.Sprintf("cl%03d", t)
+			if err := r.Evict(name); err != nil {
+				fatalf("registry cell: evict: %v", err)
+			}
+			t0 := time.Now()
+			if err := r.With(name, false, func(*server.Server) error { return nil }); err != nil {
+				fatalf("registry cell: reload: %v", err)
+			}
+			samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+		}
+	}
+	sort.Float64s(samples)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	p99 := q(0.99)
+	return result{
+		Name:      fmt.Sprintf("registry_coldload/obs=%d", obs),
+		N:         len(samples),
+		NsPerOp:   p99,
+		OpsPerSec: 1e9 / p99,
+		Extra: map[string]float64{
+			"p50_ms":  q(0.50) / 1e6,
+			"p99_ms":  p99 / 1e6,
+			"max_ms":  samples[len(samples)-1] / 1e6,
+			"mean_ms": sum / float64(len(samples)) / 1e6,
+		},
+	}
+}
+
+// registryChurnCell measures resident-churn throughput: closed-loop
+// Zipf traffic over 256 tenants against a 32-model resident cap, so
+// the measured phase continuously pages the cold tail. ops_per_sec is
+// the sustained request rate with paging on the request path;
+// ns_per_op the p99 a client sees across hot hits and cold reloads.
+func registryChurnCell() result {
+	dir, err := os.MkdirTemp("", "benchjson-registry-*")
+	if err != nil {
+		fatalf("registry churn cell: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	const tenants = 256
+	const capResident = 32
+	r, err := registry.Open(registry.Options{
+		Dir:         dir,
+		MaxResident: capResident,
+		FsyncEvery:  5 * time.Millisecond,
+		Defaults:    registry.TenantConfig{Dim: 3, Labels: []int{0, 1, 2}},
+	}, registry.ClassifyBackend())
+	if err != nil {
+		fatalf("registry churn cell: %v", err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	defer func() {
+		ts.Close()
+		r.Close()
+	}()
+	rep, err := loadgen.Run(context.Background(), loadgen.Scenario{
+		Target:      ts.URL,
+		Workload:    loadgen.WorkloadClassify,
+		Concurrency: 8,
+		Duration:    2 * time.Second,
+		Mix:         loadgen.Mix{InsertFraction: 0.2, Budget: 32},
+		Seed:        1,
+		Tenants:     tenants,
+		TenantSkew:  loadgen.DefaultTenantSkew,
+		Warmup:      2 * tenants,
+	})
+	if err != nil {
+		fatalf("registry churn cell: %v", err)
+	}
+	st := r.Stats()
+	all := rep.Latency["all"]
+	return result{
+		Name:      fmt.Sprintf("registry_churn/tenants=%d/resident=%d/skew=%.1f", tenants, capResident, loadgen.DefaultTenantSkew),
+		N:         int(rep.Requests),
+		NsPerOp:   all.P99Ms * 1e6,
+		OpsPerSec: rep.AchievedRPS,
+		Extra: map[string]float64{
+			"p50_ms":            all.P50Ms,
+			"p999_ms":           all.P999Ms,
+			"max_ms":            all.MaxMs,
+			"error_rate":        rep.ErrorRate,
+			"cold_loads":        float64(st.ColdLoads),
+			"evictions":         float64(st.Evictions),
+			"cold_load_mean_ms": st.ColdLoadMeanMs,
+			"cold_load_max_ms":  st.ColdLoadMaxMs,
 		},
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"bayestree/internal/clustree"
 	"bayestree/internal/core"
 	"bayestree/internal/loadgen"
+	"bayestree/internal/registry"
 	"bayestree/internal/server"
 )
 
@@ -54,6 +55,9 @@ func main() {
 		ndjson      = flag.Bool("ndjson", false, "emit NDJSON cells instead of one JSON document")
 		shards      = flag.Int("shards", 4, "selfserve: shard count")
 		nps         = flag.Float64("nps", 0, "selfserve: admission capacity, node reads/second (0 = no admission)")
+		tenants     = flag.Int("tenants", 0, "spread traffic across N tenants via /t/{tenant} paths with Zipf popularity (0 = single-tenant)")
+		tenantSkew  = flag.Float64("tenant-skew", 0, "Zipf exponent of tenant popularity (<=1 = default 1.2)")
+		maxResident = flag.Int("max-resident", 0, "selfserve multi-tenant: resident-model cap of the in-process registry (0 = registry default)")
 		sloP50      = flag.Duration("slo-p50", 0, "SLO: max p50 latency (0 = unchecked)")
 		sloP99      = flag.Duration("slo-p99", 0, "SLO: max p99 latency")
 		sloP999     = flag.Duration("slo-p999", 0, "SLO: max p999 latency")
@@ -119,14 +123,14 @@ func main() {
 	url := *target
 	if *selfserve != "" {
 		var stop func()
-		url, stop, err = startSelfServe(*selfserve, *shards, *nps)
+		url, stop, err = startSelfServe(*selfserve, *shards, *nps, *tenants, *maxResident)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: selfserve: %v\n", err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "loadgen: in-process %s server at %s (shards=%d nps=%g)\n",
-			*selfserve, url, *shards, *nps)
+		fmt.Fprintf(os.Stderr, "loadgen: in-process %s server at %s (shards=%d nps=%g tenants=%d)\n",
+			*selfserve, url, *shards, *nps, *tenants)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -142,6 +146,8 @@ func main() {
 		Seed:        *seed,
 		HoldoutSize: *holdout,
 		Warmup:      *warmup,
+		Tenants:     *tenants,
+		TenantSkew:  *tenantSkew,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -191,11 +197,61 @@ func main() {
 }
 
 // startSelfServe boots an in-process server of the given kind on a
-// loopback port, returning its base URL and a shutdown func.
-func startSelfServe(kind string, shards int, nps float64) (string, func(), error) {
+// loopback port, returning its base URL and a shutdown func. With
+// tenants > 0 the in-process server is a multi-tenant registry backed
+// by a throwaway directory, so paging under Zipf traffic can be
+// measured with one command.
+func startSelfServe(kind string, shards int, nps float64, tenants, maxResident int) (string, func(), error) {
 	cfg := server.Config{NodesPerSecond: nps}
 	var handler http.Handler
 	var closeSrv func()
+	if tenants > 0 {
+		dir, err := os.MkdirTemp("", "loadgen-registry-*")
+		if err != nil {
+			return "", nil, err
+		}
+		opts := registry.Options{
+			Dir:            dir,
+			MaxResident:    maxResident,
+			NodesPerSecond: nps,
+			// Smoke mode on a throwaway dir: group-commit the WALs so
+			// tenant churn measures paging, not per-append fsyncs.
+			FsyncEvery: 5 * time.Millisecond,
+		}
+		switch kind {
+		case "class":
+			opts.Defaults = registry.TenantConfig{Dim: 3, Labels: []int{0, 1, 2}, Shards: shards}
+			r, err := registry.Open(opts, registry.ClassifyBackend())
+			if err != nil {
+				os.RemoveAll(dir)
+				return "", nil, err
+			}
+			handler, closeSrv = r.Handler(), func() { r.Close(); os.RemoveAll(dir) }
+		case "cluster":
+			opts.Defaults = registry.TenantConfig{Dim: 2, Shards: shards}
+			r, err := registry.Open(opts, registry.ClusterBackend(server.ClusterOptions{SnapshotEvery: -1}))
+			if err != nil {
+				os.RemoveAll(dir)
+				return "", nil, err
+			}
+			handler, closeSrv = r.Handler(), func() { r.Close(); os.RemoveAll(dir) }
+		default:
+			os.RemoveAll(dir)
+			return "", nil, fmt.Errorf("unknown kind %q", kind)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeSrv()
+			return "", nil, err
+		}
+		hs := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		go hs.Serve(ln)
+		stop := func() {
+			hs.Close()
+			closeSrv()
+		}
+		return "http://" + ln.Addr().String(), stop, nil
+	}
 	switch kind {
 	case "class":
 		s, err := server.NewEmpty(shards, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, cfg)

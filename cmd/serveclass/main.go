@@ -42,11 +42,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"bayestree/internal/core"
 	"bayestree/internal/dataset"
 	"bayestree/internal/persist"
+	"bayestree/internal/registry"
 	"bayestree/internal/replica"
 	"bayestree/internal/serve"
 	"bayestree/internal/server"
@@ -77,6 +80,13 @@ func main() {
 		follow   = flag.String("follow", "", "run as a read-only replica of the primary at this base URL, e.g. http://host:8080 (requires -wal-dir; writes answer 307 to the primary)")
 		promFile = flag.String("promote-file", "", "promote this replica to primary when the file appears (SIGHUP promotes too; with -follow)")
 		replAddr = flag.String("replicate-addr", "", "serve the replication stream (/replicate) on a second listener at this address (with -wal-dir)")
+
+		tenantsDir   = flag.String("tenants-dir", "", "multi-tenant mode: serve a registry of named models rooted at this directory (/t/{tenant}/classify, …); excludes -snapshot/-dataset/-wal-dir/-follow")
+		maxResident  = flag.Int("max-resident", 0, "multi-tenant: resident-model cap; LRU tenants beyond it are checkpointed and paged out (0 = registry default)")
+		maxResBytes  = flag.Int64("max-resident-bytes", 0, "multi-tenant: additional resident-memory cap in estimated bytes (0 = none)")
+		tenantDim    = flag.Int("tenant-default-dim", 3, "multi-tenant: dimensionality of tenants created on first write")
+		tenantLabels = flag.String("tenant-default-labels", "0,1,2", "multi-tenant: comma-separated label set of tenants created on first write")
+		tenantShards = flag.Int("tenant-default-shards", 1, "multi-tenant: shard count of tenants created on first write")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -91,7 +101,11 @@ func main() {
 				"log tail over the latest checkpoint, and a drain checkpoints + truncates.\n"+
 				"-follow runs a read-only replica of a primary: it bootstraps from the\n"+
 				"primary's checkpoint, tails its WAL stream, and can be promoted with\n"+
-				"SIGHUP or -promote-file when the primary dies.\n\n"+
+				"SIGHUP or -promote-file when the primary dies.\n"+
+				"-tenants-dir serves a multi-tenant model registry instead: named models\n"+
+				"at /t/{tenant}/classify etc., created on first write (or PUT /t/{tenant}),\n"+
+				"each durable in its own subdirectory, LRU-paged to disk beyond\n"+
+				"-max-resident; the legacy routes alias the 'default' tenant.\n\n"+
 				"Endpoints:\n"+
 				"  POST /classify   {\"x\":[...],\"budget\":25}; NDJSON body streams a batch\n"+
 				"  POST /insert     {\"x\":[...],\"label\":2}; NDJSON body bulk-ingests\n"+
@@ -133,6 +147,43 @@ func main() {
 		cfg.DecayEvery = *decayDur
 	} else if *decayL < 0 {
 		usageErrorf("-decay-lambda must be ≥ 0, got %v", *decayL)
+	}
+
+	if *tenantsDir != "" {
+		if *snapshot != "" || *dsName != "" || *walDir != "" || *follow != "" || *replAddr != "" {
+			usageErrorf("-tenants-dir is exclusive with -snapshot/-dataset/-wal-dir/-follow/-replicate-addr")
+		}
+		if *fsyncDur < 0 {
+			usageErrorf("-fsync-every must be ≥ 0, got %v", *fsyncDur)
+		}
+		labels, err := parseLabelList(*tenantLabels)
+		if err != nil {
+			usageErrorf("-tenant-default-labels: %v", err)
+		}
+		defaults := registry.TenantConfig{
+			Dim:           *tenantDim,
+			Labels:        labels,
+			Shards:        *tenantShards,
+			DefaultBudget: *budget,
+			MaxBudget:     *maxB,
+		}
+		if *decayL > 0 {
+			defaults.DecayLambda = *decayL
+			defaults.DecayMinWeight = *minW
+			defaults.DecayEveryMS = (*decayDur).Milliseconds()
+		}
+		runRegistry(*addr, *drain, registry.Options{
+			Dir:              *tenantsDir,
+			MaxResident:      *maxResident,
+			MaxResidentBytes: *maxResBytes,
+			NodesPerSecond:   *nps,
+			FsyncEvery:       *fsyncDur,
+			Defaults:         defaults,
+		})
+		return
+	}
+	if *maxResident != 0 || *maxResBytes != 0 {
+		usageErrorf("-max-resident/-max-resident-bytes require -tenants-dir")
 	}
 
 	if *follow != "" {
@@ -223,6 +274,58 @@ func main() {
 	if err := serve.Run(app); err != nil {
 		log.Fatalf("%v", err)
 	}
+}
+
+// runRegistry runs the multi-tenant lifecycle: a model registry over
+// the tenants directory, served until a drain checkpoints every loaded
+// tenant back to disk.
+func runRegistry(addr string, drain time.Duration, opts registry.Options) {
+	r, err := registry.Open(opts, registry.ClassifyBackend())
+	if err != nil {
+		log.Fatalf("serveclass: %v", err)
+	}
+	log.Printf("serving %d tenants (0 resident) from %s on %s (max resident %d, admission %s)",
+		r.Tenants(), opts.Dir, addr, r.Stats().MaxResident, admissionDesc(opts.NodesPerSecond))
+	app := serve.App{
+		Name:         "serveclass",
+		Addr:         addr,
+		Handler:      r.Handler(),
+		DrainTimeout: drain,
+		SetDraining:  r.SetDraining,
+		Persist: func() error {
+			// Drain = checkpoint-all: every loaded tenant is paged out
+			// through the eviction path, then the manifest gets its final
+			// save.
+			if err := r.Close(); err != nil {
+				return err
+			}
+			log.Printf("drained: %d tenants checkpointed to %s", r.Tenants(), opts.Dir)
+			return nil
+		},
+	}
+	if err := serve.Run(app); err != nil {
+		log.Fatalf("%v", err)
+	}
+}
+
+// parseLabelList parses the comma-separated -tenant-default-labels set.
+func parseLabelList(s string) ([]int, error) {
+	var labels []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad label %q", part)
+		}
+		labels = append(labels, v)
+	}
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("need at least two labels, got %v", labels)
+	}
+	return labels, nil
 }
 
 // runFollower runs the replica lifecycle: a Follower over the durable

@@ -39,6 +39,7 @@ import (
 	"bayestree/internal/clustree"
 	"bayestree/internal/core"
 	"bayestree/internal/persist"
+	"bayestree/internal/registry"
 	"bayestree/internal/replica"
 	"bayestree/internal/serve"
 	"bayestree/internal/server"
@@ -66,6 +67,12 @@ func main() {
 		follow   = flag.String("follow", "", "run as a read-only replica of the primary at this base URL, e.g. http://host:8081 (requires -wal-dir; writes answer 307 to the primary)")
 		promFile = flag.String("promote-file", "", "promote this replica to primary when the file appears (SIGHUP promotes too; with -follow)")
 		replAddr = flag.String("replicate-addr", "", "serve the replication stream (/replicate) on a second listener at this address (with -wal-dir)")
+
+		tenantsDir   = flag.String("tenants-dir", "", "multi-tenant mode: serve a registry of named clustering models rooted at this directory (/t/{tenant}/cluster, …); excludes -snapshot/-wal-dir/-follow")
+		maxResident  = flag.Int("max-resident", 0, "multi-tenant: resident-model cap; LRU tenants beyond it are checkpointed and paged out (0 = registry default)")
+		maxResBytes  = flag.Int64("max-resident-bytes", 0, "multi-tenant: additional resident-memory cap in estimated bytes (0 = none)")
+		tenantDim    = flag.Int("tenant-default-dim", 2, "multi-tenant: dimensionality of tenants created on first write")
+		tenantShards = flag.Int("tenant-default-shards", 1, "multi-tenant: shard count of tenants created on first write")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -124,6 +131,38 @@ func main() {
 		SnapshotAlpha:    *alpha,
 		SnapshotCapacity: *snapCap,
 		SnapshotEvery:    *snapN,
+	}
+
+	if *tenantsDir != "" {
+		if *snapshot != "" || *walDir != "" || *follow != "" || *replAddr != "" {
+			usageErrorf("-tenants-dir is exclusive with -snapshot/-wal-dir/-follow/-replicate-addr")
+		}
+		if *fsyncDur < 0 {
+			usageErrorf("-fsync-every must be ≥ 0, got %v", *fsyncDur)
+		}
+		defaults := registry.TenantConfig{
+			Dim:           *tenantDim,
+			Shards:        *tenantShards,
+			DefaultBudget: *budget,
+			MaxBudget:     *maxB,
+		}
+		if *lambda > 0 {
+			defaults.DecayLambda = *lambda
+			defaults.DecayMinWeight = *minW
+			defaults.DecayEveryMS = (*decayDur).Milliseconds()
+		}
+		runRegistry(*addr, *drain, registry.Options{
+			Dir:              *tenantsDir,
+			MaxResident:      *maxResident,
+			MaxResidentBytes: *maxResBytes,
+			NodesPerSecond:   *nps,
+			FsyncEvery:       *fsyncDur,
+			Defaults:         defaults,
+		}, copts)
+		return
+	}
+	if *maxResident != 0 || *maxResBytes != 0 {
+		usageErrorf("-max-resident/-max-resident-bytes require -tenants-dir")
 	}
 
 	if *follow != "" {
@@ -206,6 +245,35 @@ func main() {
 	if *replAddr != "" {
 		app.ReplicateAddr = *replAddr
 		app.ReplicateHandler = s.ReplicateHandler()
+	}
+	if err := serve.Run(app); err != nil {
+		log.Fatalf("%v", err)
+	}
+}
+
+// runRegistry runs the multi-tenant lifecycle: a clustering model
+// registry over the tenants directory, served until a drain
+// checkpoints every loaded tenant back to disk.
+func runRegistry(addr string, drain time.Duration, opts registry.Options, copts server.ClusterOptions) {
+	r, err := registry.Open(opts, registry.ClusterBackend(copts))
+	if err != nil {
+		log.Fatalf("servecluster: %v", err)
+	}
+	log.Printf("serving %d clustering tenants (0 resident) from %s on %s (max resident %d)",
+		r.Tenants(), opts.Dir, addr, r.Stats().MaxResident)
+	app := serve.App{
+		Name:         "servecluster",
+		Addr:         addr,
+		Handler:      r.Handler(),
+		DrainTimeout: drain,
+		SetDraining:  r.SetDraining,
+		Persist: func() error {
+			if err := r.Close(); err != nil {
+				return err
+			}
+			log.Printf("drained: %d tenants checkpointed to %s", r.Tenants(), opts.Dir)
+			return nil
+		},
 	}
 	if err := serve.Run(app); err != nil {
 		log.Fatalf("%v", err)

@@ -1,59 +1,130 @@
-// Sensornet simulates the varying-stream scenario of the paper's
-// introduction: sensor readings arrive under a Poisson process, so the
-// time — and therefore the node budget — available per object fluctuates;
-// the anytime classifier uses whatever each gap allows and keeps learning
-// online from sporadically labelled readings.
+// Sensornet simulates the fleet-monitoring scenario of the paper's
+// introduction, scaled out the way deployments actually run: every
+// sensor keeps its *own* anytime classifier (local calibration means
+// one global model fits nobody), all served from one process through
+// the multi-tenant registry. Sensor activity is Zipf-skewed — a few
+// chatty sensors and a long cold tail — so the registry's LRU paging
+// keeps only the hot sensors' models resident and checkpoints the rest
+// to disk, reloading them digit-identically when they next report.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
+	"os"
+	"time"
 
-	"bayestree"
+	"bayestree/internal/registry"
+	"bayestree/internal/server"
 )
 
+const (
+	sensors  = 64 // fleet size
+	resident = 8  // model cache: resident cap ≪ fleet size
+	channels = 6  // readings per sensor: 6 channels
+	classes  = 5  // event classes
+	readings = 12000
+	budget   = 32 // node reads granted per classification
+)
+
+// sensorName is the tenant key for one sensor.
+func sensorName(id int) string { return fmt.Sprintf("sensor-%03d", id) }
+
+// reading draws one observation for a sensor: each sensor has its own
+// per-class channel offsets (local calibration drift), so models are
+// genuinely per-sensor — a reading is only classified well by the model
+// that learned that sensor.
+func reading(rng *rand.Rand, sensor, class int) []float64 {
+	x := make([]float64, channels)
+	calib := rand.New(rand.NewSource(int64(sensor)*1009 + int64(class)))
+	for c := range x {
+		center := float64(class) + 0.35*calib.NormFloat64()
+		x[c] = center + 0.12*rng.NormFloat64()
+	}
+	return x
+}
+
 func main() {
-	// 5 event classes over 6 sensor channels.
-	ds, err := bayestree.Synthetic(bayestree.SyntheticSpec{
-		Name: "sensors", Size: 12000, Classes: 5, Features: 6,
-		ModesPerClass: 5, Spread: 0.1, Overlap: 0.45, DominantWeight: 0.4, Seed: 1234,
-	})
+	dir, err := os.MkdirTemp("", "sensornet-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds.Shuffle(5)
-	nTrain := 4000
-	trainIdx := make([]int, nTrain)
-	for i := range trainIdx {
-		trainIdx[i] = i
-	}
-	train := ds.Subset(trainIdx, "train")
+	defer os.RemoveAll(dir)
 
-	// The rest of the data arrives as a stream; every 4th reading has an
-	// expert label (sporadic supervision, as in monitoring applications).
-	items := make([]bayestree.StreamItem, 0, ds.Len()-nTrain)
-	for i := nTrain; i < ds.Len(); i++ {
-		items = append(items, bayestree.StreamItem{
-			X: ds.X[i], Label: ds.Y[i], Labeled: i%4 == 0,
+	labels := make([]int, classes)
+	for i := range labels {
+		labels[i] = i
+	}
+	reg, err := registry.Open(registry.Options{
+		Dir:         dir,
+		MaxResident: resident,
+		FsyncEvery:  5 * time.Millisecond,
+		Defaults:    registry.TenantConfig{Dim: channels, Labels: labels},
+	}, registry.ClassifyBackend())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Readings arrive interleaved across the fleet under Zipf skew;
+	// every 4th reading per sensor carries an expert label (sporadic
+	// supervision), the rest are classified by that sensor's own model.
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1, sensors-1)
+	seen := make([]int, sensors)
+	var classified, correct int
+	for i := 0; i < readings; i++ {
+		sensor := int(zipf.Uint64())
+		class := rng.Intn(classes)
+		x := reading(rng, sensor, class)
+		labeled := seen[sensor]%4 == 0 || seen[sensor] < classes
+		seen[sensor]++
+		err := reg.With(sensorName(sensor), true, func(s *server.Server) error {
+			if labeled {
+				return s.Insert(x, class)
+			}
+			res, err := s.Classify(x, budget)
+			if err != nil {
+				return err
+			}
+			classified++
+			if res.Label == class {
+				correct++
+			}
+			return nil
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	// Sweep arrival rates: faster streams leave fewer node reads per
-	// object; the anytime classifier degrades gracefully instead of
-	// failing (the core claim of anytime stream mining).
-	fmt.Println("rate(obj/s)  mean-budget  accuracy(labelled)")
-	for _, rate := range []float64{50, 100, 200, 500, 1000, 2000} {
-		// Fresh classifier per rate so online learning from one sweep
-		// does not leak into the next.
-		clf, err := bayestree.Train(train, bayestree.TrainOptions{Loader: "emtopdown"})
+	st := reg.Stats()
+	fmt.Printf("fleet: %d sensors, %d resident models (cap %d)\n",
+		st.Tenants, st.Resident, st.MaxResident)
+	fmt.Printf("paging: %d evictions, %d cold loads (mean %.2fms)\n",
+		st.Evictions, st.ColdLoads, st.ColdLoadMeanMs)
+	fmt.Printf("accuracy on %d unlabeled readings: %.3f\n",
+		classified, float64(correct)/float64(classified))
+
+	// The cold tail is still live: evict one sensor explicitly, then
+	// query it — the registry reloads its checkpoint on touch and the
+	// model answers exactly as before paging.
+	victim := sensorName(0)
+	if err := reg.Evict(victim); err != nil {
+		log.Fatal(err)
+	}
+	probe := reading(rng, 0, 3)
+	err = reg.With(victim, false, func(s *server.Server) error {
+		res, err := s.Classify(probe, budget)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		res, err := bayestree.RunStream(clf, items, rate,
-			bayestree.Budgeter{NodesPerSecond: 4000, MaxNodes: 400}, 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%10.0f  %11.1f  %.3f\n", rate, res.MeanBudget, res.Accuracy)
+		fmt.Printf("%s after evict+reload: label=%d granted=%d of %d\n",
+			victim, res.Label, res.Granted, res.Requested)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 }

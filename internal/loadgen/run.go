@@ -78,8 +78,16 @@ type Scenario struct {
 	// HoldoutSize is the labelled holdout size (0 = DefaultHoldout).
 	HoldoutSize int
 	// Warmup is how many labelled observations to insert before
-	// measuring (0 = DefaultWarmup; < 0 skips seeding).
+	// measuring (0 = DefaultWarmup; < 0 skips seeding). In multi-tenant
+	// mode it is the total across tenants, floored at 2 per tenant.
 	Warmup int
+	// Tenants spreads the traffic across that many named tenants via
+	// /t/{tenant} paths — the target must be a multi-tenant registry.
+	// 0 keeps the legacy single-tenant paths.
+	Tenants int
+	// TenantSkew is the Zipf exponent of tenant popularity (values <= 1
+	// mean DefaultTenantSkew). Higher = hotter head, colder tail.
+	TenantSkew float64
 	// Client overrides the HTTP client (nil = a tuned default).
 	Client *http.Client
 }
@@ -199,13 +207,37 @@ func (rs *runState) send(req request) error {
 
 // seed inserts sc.Warmup labelled observations (classification) or
 // ingests as many objects (clustering) so the measured phase starts on
-// a real model.
+// a real model. In multi-tenant mode every tenant is seeded round-robin
+// with its share of the warmup (at least two observations each), so
+// the measured phase never classifies against a tenant that does not
+// exist yet — creation stays on the write path.
 func (rs *runState) seed(ctx context.Context) error {
 	n := rs.sc.Warmup
 	if n < 0 {
 		return nil
 	}
-	gen := newGenerator(rs.sc.Workload, Mix{InsertFraction: 1, Budget: rs.sc.Mix.Budget}, nil, nil, rs.sc.Seed^0x5eed)
+	gen := newGenerator(rs.sc.Workload, Mix{InsertFraction: 1, Budget: rs.sc.Mix.Budget}, nil, nil, rs.sc.Seed^0x5eed, 0, 0)
+	if rs.sc.Tenants > 0 {
+		per := n / rs.sc.Tenants
+		if per < 2 {
+			per = 2
+		}
+		for t := 0; t < rs.sc.Tenants; t++ {
+			pre := "/t/" + TenantName(t)
+			for i := 0; i < per; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				req := gen.next()
+				req.path = pre + req.path
+				if err := rs.send(req); err != nil {
+					return fmt.Errorf("loadgen: warmup tenant %s insert %d: %w", TenantName(t), i, err)
+				}
+			}
+		}
+		rs.ctr = counters{}
+		return nil
+	}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -263,7 +295,7 @@ func (rs *runState) runClosed(ctx context.Context, holdout *Holdout) time.Durati
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			gen := newGenerator(rs.sc.Workload, rs.sc.Mix, holdout, rs.sc.Proc, rs.sc.Seed+int64(w)*7919)
+			gen := newGenerator(rs.sc.Workload, rs.sc.Mix, holdout, rs.sc.Proc, rs.sc.Seed+int64(w)*7919, rs.sc.Tenants, rs.sc.TenantSkew)
 			for time.Now().Before(deadline) && ctx.Err() == nil {
 				req := gen.next()
 				t0 := time.Now()
@@ -286,7 +318,7 @@ func (rs *runState) runClosed(ctx context.Context, holdout *Holdout) time.Durati
 func (rs *runState) runOpen(ctx context.Context, holdout *Holdout) time.Duration {
 	start := time.Now()
 	deadline := start.Add(rs.sc.Duration)
-	gen := newGenerator(rs.sc.Workload, rs.sc.Mix, holdout, rs.sc.Proc, rs.sc.Seed)
+	gen := newGenerator(rs.sc.Workload, rs.sc.Mix, holdout, rs.sc.Proc, rs.sc.Seed, rs.sc.Tenants, rs.sc.TenantSkew)
 	sem := make(chan struct{}, rs.sc.Concurrency)
 	var wg sync.WaitGroup
 	scheduled := start

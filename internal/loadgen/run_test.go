@@ -171,8 +171,8 @@ func TestRunCancelled(t *testing.T) {
 // streams — what makes a loadgen run reproducible end to end.
 func TestGeneratorDeterminism(t *testing.T) {
 	h := NewHoldout(32, 9)
-	a := newGenerator(WorkloadClassify, Mix{InsertFraction: 0.3, Budget: 8}, h, HotKey{Rate: 100, HotFraction: 0.2}, 21)
-	b := newGenerator(WorkloadClassify, Mix{InsertFraction: 0.3, Budget: 8}, h, HotKey{Rate: 100, HotFraction: 0.2}, 21)
+	a := newGenerator(WorkloadClassify, Mix{InsertFraction: 0.3, Budget: 8}, h, HotKey{Rate: 100, HotFraction: 0.2}, 21, 50, 1.2)
+	b := newGenerator(WorkloadClassify, Mix{InsertFraction: 0.3, Budget: 8}, h, HotKey{Rate: 100, HotFraction: 0.2}, 21, 50, 1.2)
 	for i := 0; i < 500; i++ {
 		ra, rb := a.next(), b.next()
 		if ra.kind != rb.kind || ra.path != rb.path || string(ra.body) != string(rb.body) || ra.wantLabel != rb.wantLabel {

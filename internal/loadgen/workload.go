@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 )
 
@@ -57,6 +58,19 @@ func classPoint(rng *rand.Rand) ([]float64, int) {
 func clusterPoint(rng *rand.Rand) []float64 {
 	return []float64{rng.Float64(), rng.Float64()}
 }
+
+// TenantName names loadgen's i-th synthetic tenant. Exported so the
+// benchmark harness can pre-create or inspect the same population the
+// generator addresses.
+func TenantName(i int) string {
+	return fmt.Sprintf("lg%04d", i)
+}
+
+// DefaultTenantSkew is the Zipf skew exponent for multi-tenant traffic
+// when the scenario does not say: a heavy-tailed popularity curve —
+// a hot head of tenants plus a long cold tail — which is exactly the
+// access pattern LRU paging is designed for.
+const DefaultTenantSkew = 1.2
 
 // Holdout is a fixed labelled evaluation set replayed through
 // /classify: every classify request carries a known true label, so the
@@ -117,12 +131,17 @@ type generator struct {
 	hotClust []float64 // fixed hot observation, clustering dim
 	rng      *rand.Rand
 	cursor   int
+	tenants  int        // > 0 routes requests across /t/{tenant} paths
+	zipf     *rand.Zipf // tenant popularity, heavy-tailed
 }
 
 // newGenerator builds a per-worker generator. proc supplies key skew
 // when it is a hotMarker (the adversarial hot-key process); holdout may
-// be nil for the clustering workload.
-func newGenerator(workload Workload, mix Mix, holdout *Holdout, proc Process, seed int64) *generator {
+// be nil for the clustering workload. tenants > 0 spreads the traffic
+// across that many named tenants with Zipf(skew) popularity — tenant 0
+// hottest, the tail touched rarely, so a paging registry sees a
+// realistic hot-set/cold-tail access pattern.
+func newGenerator(workload Workload, mix Mix, holdout *Holdout, proc Process, seed int64, tenants int, skew float64) *generator {
 	g := &generator{
 		workload: workload,
 		mix:      mix,
@@ -132,6 +151,13 @@ func newGenerator(workload Workload, mix Mix, holdout *Holdout, proc Process, se
 		// request hashes to the same shard and descends the same subtree.
 		hotClass: []float64{3.0, -3.0, 0.0},
 		hotClust: []float64{0.5, 0.5},
+		tenants:  tenants,
+	}
+	if tenants > 0 {
+		if skew <= 1 {
+			skew = DefaultTenantSkew
+		}
+		g.zipf = rand.NewZipf(g.rng, skew, 1, uint64(tenants-1))
 	}
 	if hm, ok := proc.(hotMarker); ok {
 		g.hot = hm
@@ -139,8 +165,18 @@ func newGenerator(workload Workload, mix Mix, holdout *Holdout, proc Process, se
 	return g
 }
 
+// tenantPrefix draws the request's tenant path prefix ("" in
+// single-tenant mode).
+func (g *generator) tenantPrefix() string {
+	if g.tenants <= 0 {
+		return ""
+	}
+	return "/t/" + TenantName(int(g.zipf.Uint64()))
+}
+
 // next generates one request.
 func (g *generator) next() request {
+	pre := g.tenantPrefix()
 	hot := g.hot != nil && g.hot.Hot(g.rng)
 	if g.workload == WorkloadCluster {
 		x := clusterPoint(g.rng)
@@ -148,7 +184,7 @@ func (g *generator) next() request {
 			x = g.hotClust
 		}
 		body, _ := json.Marshal(reqBody{X: x, Budget: g.mix.Budget})
-		return request{kind: KindIngest, path: "/cluster", body: body, wantLabel: -1}
+		return request{kind: KindIngest, path: pre + "/cluster", body: body, wantLabel: -1}
 	}
 	if g.rng.Float64() < g.mix.InsertFraction {
 		x, label := classPoint(g.rng)
@@ -156,7 +192,7 @@ func (g *generator) next() request {
 			x, label = g.hotClass, 1
 		}
 		body, _ := json.Marshal(reqBody{X: x, Label: label})
-		return request{kind: KindInsert, path: "/insert", body: body, wantLabel: -1}
+		return request{kind: KindInsert, path: pre + "/insert", body: body, wantLabel: -1}
 	}
 	want := -1
 	var x []float64
@@ -168,5 +204,5 @@ func (g *generator) next() request {
 		x, want = g.holdout.X[i], g.holdout.Y[i]
 	}
 	body, _ := json.Marshal(reqBody{X: x, Budget: g.mix.Budget})
-	return request{kind: KindClassify, path: "/classify", body: body, wantLabel: want}
+	return request{kind: KindClassify, path: pre + "/classify", body: body, wantLabel: want}
 }

@@ -1,0 +1,104 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegistryManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, ok, err := LoadRegistryManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("fresh dir reported a manifest: %+v", m)
+	}
+	want := RegistryManifest{
+		Workload: "classify",
+		Tenants: []RegistryTenant{
+			{Name: "alpha", Generation: 3},
+			{Name: "beta", Generation: 0},
+		},
+	}
+	if err := SaveRegistryManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadRegistryManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("saved manifest not found")
+	}
+	if got.Workload != want.Workload || len(got.Tenants) != len(want.Tenants) {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+	}
+	for i := range want.Tenants {
+		if got.Tenants[i] != want.Tenants[i] {
+			t.Fatalf("tenant %d: got %+v want %+v", i, got.Tenants[i], want.Tenants[i])
+		}
+	}
+}
+
+func TestRegistryManifestRejectsBadTenants(t *testing.T) {
+	dir := t.TempDir()
+	cases := []RegistryManifest{
+		{Workload: ""},
+		{Workload: "classify", Tenants: []RegistryTenant{{Name: ""}}},
+		{Workload: "classify", Tenants: []RegistryTenant{{Name: "a/b"}}},
+		{Workload: "classify", Tenants: []RegistryTenant{{Name: "a"}, {Name: "a"}}},
+	}
+	for i, m := range cases {
+		if err := SaveRegistryManifest(dir, m); err == nil {
+			t.Errorf("case %d: bad manifest %+v saved without error", i, m)
+		}
+	}
+}
+
+// TestRemoveStaleTempsTree is the crash-mid-eviction hygiene property:
+// temp files stranded inside per-tenant subdirectories — not just the
+// registry root — must be swept, because a cold tenant's directory may
+// not be opened again for a long time.
+func TestRemoveStaleTempsTree(t *testing.T) {
+	root := t.TempDir()
+	tenantA := filepath.Join(root, "tenants", "alpha")
+	tenantAWAL := filepath.Join(tenantA, "shard-000")
+	tenantB := filepath.Join(root, "tenants", "beta")
+	for _, d := range []string{tenantAWAL, tenantB} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	strand := func(dir string) string {
+		f, err := os.CreateTemp(dir, tempPattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return f.Name()
+	}
+	stranded := []string{strand(root), strand(tenantA), strand(tenantAWAL), strand(tenantB)}
+	keep := filepath.Join(tenantA, "MANIFEST")
+	if err := os.WriteFile(keep, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := RemoveStaleTempsTree(root); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range stranded {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stranded temp %s survived the tree sweep", p)
+		}
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("non-temp file swept: %v", err)
+	}
+
+	// A missing root is a no-op, matching RemoveStaleTemps.
+	if err := RemoveStaleTempsTree(filepath.Join(root, "missing")); err != nil {
+		t.Fatalf("missing dir: %v", err)
+	}
+}

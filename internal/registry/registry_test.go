@@ -1,0 +1,407 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bayestree/internal/server"
+)
+
+// testDefaults is the tenant shape tests create on first write: the
+// same 3-dim, 3-label space the loadgen workload uses.
+func testDefaults() TenantConfig {
+	return TenantConfig{Dim: 3, Labels: []int{0, 1, 2}}
+}
+
+func openTestRegistry(t *testing.T, dir string, mod func(*Options)) *Registry[*server.Server] {
+	t.Helper()
+	opts := Options{Dir: dir, Defaults: testDefaults()}
+	if mod != nil {
+		mod(&opts)
+	}
+	r, err := Open(opts, ClassifyBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// testPoint is a deterministic labeled observation: three clusters on
+// a line, matching the label set of testDefaults.
+func testPoint(rng *rand.Rand) ([]float64, int) {
+	label := rng.Intn(3)
+	c := float64(label) * 4
+	return []float64{c + rng.NormFloat64(), c + rng.NormFloat64(), c + rng.NormFloat64()}, label
+}
+
+func mustPost(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+func TestCreateOnFirstWriteAndRouting(t *testing.T) {
+	r := openTestRegistry(t, t.TempDir(), nil)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	// First write creates the tenant.
+	code, body := mustPost(t, ts.URL+"/t/alpha/insert", `{"x":[0,0,0],"label":0}`)
+	if code != http.StatusOK {
+		t.Fatalf("create-on-first-write insert: %d %s", code, body)
+	}
+	if got := r.Tenants(); got != 1 {
+		t.Fatalf("tenants after first write: %d", got)
+	}
+	code, body = mustPost(t, ts.URL+"/t/alpha/classify", `{"x":[0,0,0]}`)
+	if code != http.StatusOK {
+		t.Fatalf("classify on created tenant: %d %s", code, body)
+	}
+
+	// Reads do not create: unknown tenant is 404.
+	code, _ = mustPost(t, ts.URL+"/t/ghost/classify", `{"x":[0,0,0]}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("classify on unknown tenant: %d, want 404", code)
+	}
+	// Invalid names are 400.
+	code, _ = mustPost(t, ts.URL+"/t/bad*name/insert", `{"x":[0,0,0],"label":0}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid tenant name: %d, want 400", code)
+	}
+
+	// PUT creates explicitly (201), re-PUT is idempotent (200).
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/t/beta", strings.NewReader(`{"shards":2}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT new tenant: %d, want 201", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodPut, ts.URL+"/t/beta", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT existing tenant: %d, want 200", resp.StatusCode)
+	}
+
+	// Tenant info and registry stats.
+	resp, err = http.Get(ts.URL + "/t/beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Tenant   string `json:"tenant"`
+		Resident bool   `json:"resident"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Tenant != "beta" || !info.Resident {
+		t.Fatalf("tenant info: %+v", info)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Workload != "classify" || st.Tenants != 2 || st.Resident != 2 {
+		t.Fatalf("registry stats: %+v", st)
+	}
+	// Per-tenant stats delegate to the tenant's own endpoint.
+	resp, err = http.Get(ts.URL + "/t/alpha/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tst server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&tst); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tst.Observations != 1 {
+		t.Fatalf("tenant stats observations: %+v", tst)
+	}
+}
+
+// TestLegacyDefaultAlias pins the compatibility contract: the
+// single-tenant routes keep working, aliased onto the default tenant,
+// and X-Tenant reroutes them without touching the path.
+func TestLegacyDefaultAlias(t *testing.T) {
+	r := openTestRegistry(t, t.TempDir(), nil)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	code, body := mustPost(t, ts.URL+"/insert", `{"x":[1,1,1],"label":1}`)
+	if code != http.StatusOK {
+		t.Fatalf("legacy insert: %d %s", code, body)
+	}
+	code, body = mustPost(t, ts.URL+"/classify", `{"x":[1,1,1]}`)
+	if code != http.StatusOK {
+		t.Fatalf("legacy classify: %d %s", code, body)
+	}
+	if got := r.Tenants(); got != 1 {
+		t.Fatalf("tenants after legacy writes: %d", got)
+	}
+
+	// X-Tenant reroutes the legacy path to a named tenant.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/insert", strings.NewReader(`{"x":[1,1,1],"label":1}`))
+	req.Header.Set("X-Tenant", "sensor-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("X-Tenant insert: %d", resp.StatusCode)
+	}
+	if got := r.Tenants(); got != 2 {
+		t.Fatalf("tenants after X-Tenant write: %d", got)
+	}
+}
+
+// TestEvictReloadDigitIdentical is the paging-safety property from the
+// issue: an evicted-then-reloaded tenant must answer digit-identically
+// to a never-evicted twin fed the same observations. Snapshot bytes
+// are compared, which subsumes every query answer.
+func TestEvictReloadDigitIdentical(t *testing.T) {
+	r := openTestRegistry(t, t.TempDir(), nil)
+
+	rng := rand.New(rand.NewSource(42))
+	type obs struct {
+		x     []float64
+		label int
+	}
+	feed := make([]obs, 400)
+	for i := range feed {
+		x, label := testPoint(rng)
+		feed[i] = obs{x, label}
+	}
+	for _, name := range []string{"evicted", "twin"} {
+		err := r.With(name, true, func(s *server.Server) error {
+			for _, o := range feed {
+				if err := s.Insert(o.x, o.label); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := r.Evict("evicted"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions: %d", got)
+	}
+
+	snap := func(name string) []byte {
+		var buf bytes.Buffer
+		if err := r.With(name, false, func(s *server.Server) error {
+			return s.WriteSnapshot(&buf)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got, want := snap("evicted"), snap("twin")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("evicted-then-reloaded tenant diverged from its twin: %d vs %d snapshot bytes", len(got), len(want))
+	}
+	if r.Stats().ColdLoads < 3 {
+		t.Fatalf("cold loads: %+v", r.Stats())
+	}
+
+	// And the reloaded tenant answers queries identically.
+	var a, b server.Result
+	if err := r.With("evicted", false, func(s *server.Server) error {
+		var err error
+		a, err = s.Classify(feed[0].x, 64)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.With("twin", false, func(s *server.Server) error {
+		var err error
+		b, err = s.Classify(feed[0].x, 64)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("classify diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestLRUPagingCap drives more tenants than the resident cap allows
+// and checks the registry pages the cold tail out, reloading on touch.
+func TestLRUPagingCap(t *testing.T) {
+	r := openTestRegistry(t, t.TempDir(), func(o *Options) { o.MaxResident = 2 })
+
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("tn%02d", i)
+		if err := r.With(name, true, func(s *server.Server) error {
+			return s.Insert([]float64{float64(i), 0, 0}, i%3)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Resident(); got > 2 {
+		t.Fatalf("resident %d exceeds cap 2", got)
+	}
+	if got := r.Tenants(); got != 5 {
+		t.Fatalf("tenants: %d", got)
+	}
+	st := r.Stats()
+	if st.Evictions < 3 {
+		t.Fatalf("expected >=3 evictions, got %+v", st)
+	}
+
+	// Touching an evicted tenant reloads it with its data intact.
+	loadsBefore := st.ColdLoads
+	if err := r.With("tn00", false, func(s *server.Server) error {
+		if s.Len() != 1 {
+			return fmt.Errorf("reloaded tenant has %d observations", s.Len())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().ColdLoads; got != loadsBefore+1 {
+		t.Fatalf("cold loads: %d -> %d", loadsBefore, got)
+	}
+}
+
+// TestRestartRecoversPopulation closes a populated registry and
+// reopens the root: the manifest (plus directory adoption) must
+// restore the full tenant population without loading any model, and a
+// touched tenant must come back with its data.
+func TestRestartRecoversPopulation(t *testing.T) {
+	dir := t.TempDir()
+	r := openTestRegistry(t, dir, nil)
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("tn%02d", i)
+		if err := r.With(name, true, func(s *server.Server) error {
+			return s.Insert([]float64{float64(i), 0, 0}, i%3)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openTestRegistry(t, dir, nil)
+	if got := r2.Tenants(); got != 4 {
+		t.Fatalf("tenants after restart: %d", got)
+	}
+	if got := r2.Resident(); got != 0 {
+		t.Fatalf("restart loaded %d models eagerly", got)
+	}
+	if err := r2.With("tn02", false, func(s *server.Server) error {
+		if s.Len() != 1 {
+			return fmt.Errorf("recovered tenant has %d observations", s.Len())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkloadMismatchRefused: a root written by one workload refuses
+// to open under the other backend.
+func TestWorkloadMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	r := openTestRegistry(t, dir, nil)
+	if err := r.With("a", true, func(s *server.Server) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}, ClusterBackend(server.ClusterOptions{SnapshotEvery: -1})); err == nil {
+		t.Fatal("cluster backend opened a classify root")
+	}
+}
+
+// TestSecondWriterRefused: the root flock makes a second registry on
+// the same directory fail fast.
+func TestSecondWriterRefused(t *testing.T) {
+	dir := t.TempDir()
+	openTestRegistry(t, dir, nil)
+	if _, err := Open(Options{Dir: dir, Defaults: testDefaults()}, ClassifyBackend()); err == nil {
+		t.Fatal("second registry on one root did not fail")
+	}
+}
+
+func TestValidTenantName(t *testing.T) {
+	for _, ok := range []string{"a", "sensor-7", "user_42", "A.b-C_9", strings.Repeat("x", 64)} {
+		if !ValidTenantName(ok) {
+			t.Errorf("ValidTenantName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", ".hidden", "a/b", "a b", "a*b", strings.Repeat("x", 65)} {
+		if ValidTenantName(bad) {
+			t.Errorf("ValidTenantName(%q) = true", bad)
+		}
+	}
+}
+
+// TestDrainingRejects: a draining registry answers 503 and fails
+// readiness; /healthz stays alive.
+func TestDrainingRejects(t *testing.T) {
+	r := openTestRegistry(t, t.TempDir(), nil)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	r.SetDraining(true)
+	code, _ := mustPost(t, ts.URL+"/t/a/insert", `{"x":[0,0,0],"label":0}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining insert: %d, want 503", code)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz: %d", resp.StatusCode)
+	}
+	r.SetDraining(false)
+	code, _ = mustPost(t, ts.URL+"/t/a/insert", `{"x":[0,0,0],"label":0}`)
+	if code != http.StatusOK {
+		t.Fatalf("insert after undrain: %d", code)
+	}
+}

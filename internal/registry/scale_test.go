@@ -1,0 +1,68 @@
+package registry
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bayestree/internal/loadgen"
+)
+
+// TestThousandTenantsUnderZipfLoad is the headline acceptance run:
+// 1000+ named tenants served from one process through the loadgen
+// Zipf-tenant workload while the resident cap stays far below the
+// tenant count — so the measured phase continuously pages the cold
+// tail in and out. The run must stay error-free: every 404/503 or
+// half-closed engine would land in the report's ErrorRate.
+func TestThousandTenantsUnderZipfLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-tenant scale run skipped in -short mode")
+	}
+	const tenants = 1000
+	const cap = 32
+	r := openTestRegistry(t, t.TempDir(), func(o *Options) {
+		o.MaxResident = cap
+		o.FsyncEvery = 5 * time.Millisecond
+	})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, loadgen.Scenario{
+		Target:      ts.URL,
+		Workload:    loadgen.WorkloadClassify,
+		Proc:        loadgen.Poisson{Rate: 700},
+		Duration:    4 * time.Second,
+		Mix:         loadgen.Mix{InsertFraction: 0.3, Budget: 16},
+		Seed:        7,
+		Tenants:     tenants,
+		TenantSkew:  1.2,
+		Warmup:      2 * tenants,
+		Concurrency: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors under tenant churn: %d of %d (rate %.4f)", rep.Errors, rep.Requests, rep.ErrorRate)
+	}
+	if got := r.Tenants(); got < tenants {
+		t.Fatalf("tenant population: %d, want >= %d", got, tenants)
+	}
+	if got := r.Resident(); got > cap {
+		t.Fatalf("resident %d exceeds cap %d", got, cap)
+	}
+	st := r.Stats()
+	if st.Evictions == 0 || st.ColdLoads <= tenants {
+		t.Fatalf("no paging happened under Zipf skew: %+v", st)
+	}
+	t.Logf("scale: %d tenants, %d resident (cap %d), %d evictions, %d cold loads (mean %.2fms max %.2fms), %d reqs at %.0f rps, p99 %.2fms",
+		r.Tenants(), r.Resident(), cap, st.Evictions, st.ColdLoads,
+		st.ColdLoadMeanMs, st.ColdLoadMaxMs, rep.Requests, rep.AchievedRPS,
+		rep.Latency["all"].P99Ms)
+}

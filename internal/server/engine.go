@@ -221,6 +221,33 @@ func (e *engine[M]) Close() {
 // NumShards returns the number of shards.
 func (e *engine[M]) NumShards() int { return len(e.shards) }
 
+// Rough per-node and per-observation resident-memory costs behind
+// ApproxBytes: a tree node carries entries with rects, CF vectors and
+// frozen caches; an observation is its float64 coordinates plus slice
+// headers. The constants are deliberately coarse — the estimate feeds
+// the registry's resident-bytes paging cap, where being within 2× is
+// enough to bound a process, and recomputing true sizes would walk
+// every allocation.
+const (
+	approxNodeBytes = 384
+	approxObsBytes  = 96
+)
+
+// ApproxBytes estimates the model's resident memory from its node and
+// observation counts — the observable the multi-tenant registry's
+// resident-bytes cap pages against. It takes each shard's read lock
+// briefly; the result is an estimate, not an accounting.
+func (e *engine[M]) ApproxBytes() int64 {
+	var nodes, obs int
+	for _, sh := range e.shards {
+		e.rlock(sh)
+		nodes += sh.tree.CountNodes()
+		obs += sh.tree.Len()
+		e.runlock(sh)
+	}
+	return int64(nodes)*approxNodeBytes + int64(obs)*approxObsBytes
+}
+
 // Len returns the total number of observations across all shards.
 func (e *engine[M]) Len() int {
 	total := 0
