@@ -157,11 +157,44 @@ func BenchmarkFigure4Covertype(b *testing.B) {
 // --- Ablations beyond the paper's figures -------------------------------
 
 // BenchmarkAblationDescent sweeps all descent strategies (the paper's
-// Section 2.2 finding: glo best, then bft, then dft).
+// Section 2.2 finding: glo best, then bft, then dft), each in two layout
+// variants: the pointer tree and the structure-of-arrays mirror
+// (vectorized descent). The layouts are digit-identical in accuracy —
+// the acc@N metrics must match pairwise — so the rows isolate the pure
+// layout cost of each strategy.
 func BenchmarkAblationDescent(b *testing.B) {
-	runFigure(b, "pendigits", benchScale,
-		[]string{"emtopdown"},
-		[]core.Strategy{core.DescentGlobal, core.DescentBFT, core.DescentDFT})
+	ds := benchDataset(b, "pendigits", benchScale)
+	loader, ok := bulkload.ByName("emtopdown")
+	if !ok {
+		b.Fatal("unknown loader emtopdown")
+	}
+	for _, strat := range []core.Strategy{core.DescentGlobal, core.DescentBFT, core.DescentDFT} {
+		for _, layout := range []struct {
+			name string
+			soa  bool
+		}{{"pointer", false}, {"soa", true}} {
+			b.Run(fmt.Sprintf("emtopdown/%s/%s", strat, layout.name), func(b *testing.B) {
+				var last *eval.Curve
+				for i := 0; i < b.N; i++ {
+					c, err := eval.AnytimeCurve(ds, loader, eval.CurveOptions{
+						Folds:    4,
+						MaxNodes: 100,
+						Seed:     42,
+						SoA:      layout.soa,
+						Classifier: core.ClassifierOptions{
+							Strategy: strat,
+							Priority: core.PriorityProbabilistic,
+						},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = c
+				}
+				reportCurve(b, last)
+			})
+		}
+	}
 }
 
 // BenchmarkAblationPriority compares the probabilistic and geometric

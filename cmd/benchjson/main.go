@@ -81,10 +81,16 @@ func main() {
 		GoVersion: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, shards := range []int{1, 4} {
+		// soa_classify pair: the default serving path descends the
+		// structure-of-arrays mirror; the soa=off sibling forces the exact
+		// pointer layout (Query.ExactDescent), so the diff between the two
+		// cells is the layout speedup at otherwise identical settings.
 		for _, budget := range []int{10, 50} {
 			rep.Benchmarks = append(rep.Benchmarks,
-				run(fmt.Sprintf("server_classify/shards=%d/budget=%d", shards, budget),
-					benchClassify(shards, budget)))
+				run(fmt.Sprintf("server_classify/shards=%d/budget=%d/soa=on", shards, budget),
+					benchClassify(shards, budget, false)),
+				run(fmt.Sprintf("server_classify/shards=%d/budget=%d/soa=off", shards, budget),
+					benchClassify(shards, budget, true)))
 		}
 		rep.Benchmarks = append(rep.Benchmarks,
 			run(fmt.Sprintf("cluster_ingest/shards=%d/budget=8", shards), benchIngest(shards, 8)),
@@ -356,10 +362,13 @@ func classPoint(rng *rand.Rand) ([]float64, int) {
 }
 
 // benchClassify measures served classifications on a pre-filled
-// sharded server.
-func benchClassify(shards, budget int) func(b *testing.B) {
+// sharded server; exact forces the pointer-layout descent (SoA mirror
+// unused).
+func benchClassify(shards, budget int, exact bool) func(b *testing.B) {
 	return func(b *testing.B) {
-		s, err := server.NewEmpty(shards, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, server.Config{})
+		cfg := server.Config{}
+		cfg.Query.ExactDescent = exact
+		s, err := server.NewEmpty(shards, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,112 +1,156 @@
 // Healthmonitor reproduces the multi-step classification architecture the
-// paper deployed in the HealthNet scenario [13]: resource-restricted
-// mobile devices run a cheap pre-classification using only the upper
-// levels of the trained Bayes trees; depending on how confident that
-// pre-classification is, they transmit more or fewer observations to a
-// central server, which classifies with the full (or large-budget) model —
-// together producing a varying stream at the server exactly as in the
-// paper's Section 4.1 discussion.
+// paper deployed in the HealthNet scenario [13], run the way a ward
+// actually operates: every patient keeps their *own* anytime classifier
+// (vital-sign baselines differ too much for one global model), all
+// served from one process through the multi-tenant registry with a
+// resident cap far below the ward size — the hot patients' models stay
+// in memory, the rest page to disk and reload digit-identically.
+//
+// The multi-step policy is decision stability: the bedside device
+// classifies twice, at a coarse and at its full (still tiny) budget. If
+// the two anytime answers agree the decision is made locally; if they
+// disagree — the anytime curve is still moving — the observation
+// escalates to the server budget. Together the devices produce exactly
+// the varying stream of the paper's Section 4.1 discussion.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
+	"os"
+	"time"
 
-	"bayestree"
+	"bayestree/internal/registry"
+	"bayestree/internal/server"
 )
 
-func main() {
-	// A 4-class "patient status" problem over 9 vital-sign features.
-	ds, err := bayestree.Synthetic(bayestree.SyntheticSpec{
-		Name: "vitals", Size: 6000, Classes: 4, Features: 9,
-		ModesPerClass: 5, Spread: 0.11, Overlap: 0.45, DominantWeight: 0.4, Seed: 99,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	n := ds.Len()
-	trainIdx := make([]int, 0, n*2/3)
-	testIdx := make([]int, 0, n/3)
-	for i := 0; i < n; i++ {
-		if i%3 == 0 {
-			testIdx = append(testIdx, i)
-		} else {
-			trainIdx = append(trainIdx, i)
-		}
-	}
-	train := ds.Subset(trainIdx, "train")
-	test := ds.Subset(testIdx, "test")
+const (
+	patients = 40 // ward size: one model per patient
+	resident = 8  // model cache: resident cap ≪ ward size
+	vitals   = 9  // features: heart rate, SpO2, BP, temperature, ...
+	classes  = 4  // patient status: stable, watch, alert, critical
+	readings = 9000
 
-	clf, err := bayestree.Train(train, bayestree.TrainOptions{Loader: "emtopdown"})
-	if err != nil {
-		log.Fatal(err)
-	}
+	coarseBudget = 1   // first look on the device
+	mobileBudget = 3   // full budget affordable on the device
+	serverBudget = 100 // node reads on the server
+)
 
-	// Stage 1 (mobile): pre-classify with a tiny budget; measure the
-	// posterior margin to decide whether to escalate.
-	const (
-		mobileBudget    = 3    // node reads affordable on the device
-		serverBudget    = 100  // node reads on the server
-		marginThreshold = 0.75 // posterior confidence to decide locally
-	)
-	var local, escalated, correct int
-	var serverLoad int
-	for i := range test.X {
-		q := clf.NewQuery(test.X[i])
-		for s := 0; s < mobileBudget; s++ {
-			q.Step()
-		}
-		post := q.Posteriors()
-		best, conf := argmaxConf(post)
-		var pred int
-		if conf >= marginThreshold {
-			pred = clf.Labels()[best]
-			local++
-		} else {
-			// Escalate: the server continues the SAME anytime query — the
-			// hierarchy makes the mobile work a strict prefix of the
-			// server's.
-			for s := 0; s < serverBudget; s++ {
-				if !q.Step() {
-					break
-				}
-			}
-			pred = q.Predict()
-			escalated++
-			serverLoad += q.NodesRead() - mobileBudget
-		}
-		if pred == test.Y[i] {
-			correct++
-		}
-	}
-	total := len(test.X)
-	fmt.Printf("multi-step classification of %d observations\n", total)
-	fmt.Printf("  decided on device (≤%d nodes): %d (%.1f%%)\n", mobileBudget, local, 100*float64(local)/float64(total))
-	fmt.Printf("  escalated to server:           %d (%.1f%%), %d extra node reads total\n",
-		escalated, 100*float64(escalated)/float64(total), serverLoad)
-	fmt.Printf("  end-to-end accuracy:           %.3f\n", float64(correct)/float64(total))
+// patientName is the tenant key for one patient's model.
+func patientName(id int) string { return fmt.Sprintf("patient-%03d", id) }
 
-	// Reference points: always-mobile and always-server accuracy.
-	for _, ref := range []struct {
-		name   string
-		budget int
-	}{{"always mobile", mobileBudget}, {"always server", serverBudget}} {
-		c := 0
-		for i := range test.X {
-			if clf.Classify(test.X[i], ref.budget) == test.Y[i] {
-				c++
-			}
-		}
-		fmt.Printf("  %-30s %.3f\n", ref.name+" accuracy:", float64(c)/float64(total))
+// observation draws one vitals vector: each patient has their own
+// per-class baselines (resting heart rate, typical BP, ...), so models
+// are genuinely per-patient — a reading is only classified well by the
+// model that learned that patient.
+func observation(rng *rand.Rand, patient, status int) []float64 {
+	x := make([]float64, vitals)
+	baseline := rand.New(rand.NewSource(int64(patient)*877 + int64(status)))
+	for v := range x {
+		center := 0.6*float64(status) + 0.45*baseline.NormFloat64()
+		x[v] = center + 0.55*rng.NormFloat64()
 	}
+	return x
 }
 
-func argmaxConf(post []float64) (int, float64) {
-	best := 0
-	for i, p := range post {
-		if p > post[best] {
-			best = i
+func main() {
+	dir, err := os.MkdirTemp("", "healthmonitor-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	labels := make([]int, classes)
+	for i := range labels {
+		labels[i] = i
+	}
+	reg, err := registry.Open(registry.Options{
+		Dir:         dir,
+		MaxResident: resident,
+		FsyncEvery:  5 * time.Millisecond,
+		Defaults:    registry.TenantConfig{Dim: vitals, Labels: labels},
+	}, registry.ClassifyBackend())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Readings arrive interleaved across the ward under Zipf skew (the
+	// unstable patients report far more often); every 4th reading per
+	// patient carries a clinician label, the rest go through the
+	// multi-step policy against that patient's own model.
+	rng := rand.New(rand.NewSource(99))
+	zipf := rand.NewZipf(rng, 1.2, 1, patients-1)
+	seen := make([]int, patients)
+	var local, escalated int
+	var policyCorrect, mobileCorrect, serverCorrect, decided int
+	var serverLoad int
+	for i := 0; i < readings; i++ {
+		patient := int(zipf.Uint64())
+		status := rng.Intn(classes)
+		x := observation(rng, patient, status)
+		labeled := seen[patient]%4 == 0 || seen[patient] < classes
+		seen[patient]++
+		err := reg.With(patientName(patient), true, func(s *server.Server) error {
+			if labeled {
+				return s.Insert(x, status)
+			}
+			coarse, err := s.Classify(x, coarseBudget)
+			if err != nil {
+				return err
+			}
+			mobile, err := s.Classify(x, mobileBudget)
+			if err != nil {
+				return err
+			}
+			pred := mobile.Label
+			if coarse.Label != mobile.Label {
+				// The anytime answer is still changing between budgets:
+				// escalate this observation to the server budget.
+				full, err := s.Classify(x, serverBudget)
+				if err != nil {
+					return err
+				}
+				pred = full.Label
+				escalated++
+				serverLoad += full.Granted
+			} else {
+				local++
+			}
+			decided++
+			if pred == status {
+				policyCorrect++
+			}
+			// Reference points measured on the same stream.
+			if mobile.Label == status {
+				mobileCorrect++
+			}
+			full, err := s.Classify(x, serverBudget)
+			if err != nil {
+				return err
+			}
+			if full.Label == status {
+				serverCorrect++
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
-	return best, post[best]
+
+	st := reg.Stats()
+	fmt.Printf("ward: %d patients, %d resident models (cap %d)\n",
+		st.Tenants, st.Resident, st.MaxResident)
+	fmt.Printf("paging: %d evictions, %d cold loads (mean %.2fms)\n",
+		st.Evictions, st.ColdLoads, st.ColdLoadMeanMs)
+	fmt.Printf("multi-step policy over %d unlabeled readings:\n", decided)
+	fmt.Printf("  decided at bedside (≤%d nodes): %d (%.1f%%)\n",
+		mobileBudget, local, 100*float64(local)/float64(decided))
+	fmt.Printf("  escalated to server:            %d (%.1f%%), %d server node reads\n",
+		escalated, 100*float64(escalated)/float64(decided), serverLoad)
+	fmt.Printf("  policy accuracy:                %.3f\n", float64(policyCorrect)/float64(decided))
+	fmt.Printf("  always-mobile accuracy:         %.3f\n", float64(mobileCorrect)/float64(decided))
+	fmt.Printf("  always-server accuracy:         %.3f\n", float64(serverCorrect)/float64(decided))
 }

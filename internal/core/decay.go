@@ -101,6 +101,7 @@ func (t *Tree) EnableDecay(opts DecayOptions) error {
 	}
 	t.decay = opts
 	t.queryState.Store(nil)
+	t.soaInvalidate()
 	return nil
 }
 
@@ -129,6 +130,7 @@ func (t *Tree) RestoreDecayState(opts DecayOptions, epoch, ref int64) error {
 	t.epoch = epoch
 	t.refEpoch = ref
 	t.queryState.Store(nil)
+	t.soaInvalidate()
 	return nil
 }
 
@@ -145,6 +147,7 @@ func (t *Tree) AdvanceEpoch(n int64) {
 	}
 	t.epoch += n
 	t.queryState.Store(nil)
+	t.soaInvalidate()
 }
 
 // insertWeight is the amplified weight of an observation inserted now:
@@ -227,6 +230,7 @@ func (t *Tree) DecaySweep() SweepStats {
 	}
 	st.PointsPruned = before - t.size
 	t.queryState.Store(nil)
+	t.soaInvalidate()
 	return st
 }
 
@@ -343,6 +347,7 @@ func (t *MultiTree) EnableDecay(opts DecayOptions) error {
 	}
 	t.decay = opts
 	t.queryState.Store(nil)
+	t.soaInvalidate()
 	return nil
 }
 
@@ -370,6 +375,7 @@ func (t *MultiTree) RestoreDecayState(opts DecayOptions, epoch, ref int64) error
 	t.epoch = epoch
 	t.refEpoch = ref
 	t.queryState.Store(nil)
+	t.soaInvalidate()
 	return nil
 }
 
@@ -381,6 +387,7 @@ func (t *MultiTree) AdvanceEpoch(n int64) {
 	}
 	t.epoch += n
 	t.queryState.Store(nil)
+	t.soaInvalidate()
 }
 
 func (t *MultiTree) insertWeight() float64 {
@@ -467,6 +474,7 @@ func (t *MultiTree) DecaySweep() SweepStats {
 	}
 	st.PointsPruned = before - t.size
 	t.queryState.Store(nil)
+	t.soaInvalidate()
 	return st
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"bayestree/internal/kernels"
@@ -96,6 +97,18 @@ type MultiTree struct {
 	decay    DecayOptions
 	epoch    int64
 	refEpoch int64
+	// soa publishes the structure-of-arrays mirror for vectorized
+	// descent (nil = unpublished; queries fall back to the pointer
+	// path). The remaining fields are the refresh bookkeeping, guarded
+	// by the same exclusive-access contract as mutation. See soa.go.
+	soa           atomic.Pointer[multiSoA]
+	soaTrack      bool
+	soaStructural bool
+	soaDirty      map[*MultiNode]struct{}
+	soaRetained   *multiSoA
+	soaRebuilds   int64
+	soaPatches    int64
+	soaInvalid    int64
 }
 
 // multiQueryState holds what every MultiQuery needs but no query should
@@ -107,6 +120,11 @@ type multiQueryState struct {
 	logNc []float64
 	// kern holds the leaf kernel frozen at each class's bandwidths.
 	kern []kernels.FrozenKernel
+	// sweep holds the same frozen kernels viewed through their flat
+	// sweep interface; sweepOK is false when any class's kernel cannot
+	// sweep (the SoA fast path then stays off for this tree state).
+	sweep   []kernels.Sweeper
+	sweepOK bool
 }
 
 // NewMultiTree creates an empty multi-class tree over the given class
@@ -274,7 +292,8 @@ func (t *MultiTree) insertPointW(p LabeledPoint, w float64) {
 		path = append(path, n)
 	}
 	n.appendPoint(p, w)
-	t.fixOverflow(path)
+	split := t.fixOverflow(path)
+	t.soaMarkInsert(path, split)
 }
 
 // appendPoint adds one observation with the given weight, materialising
@@ -307,7 +326,11 @@ func (t *MultiTree) chooseSubtree(n *MultiNode, r mbr.Rect) int {
 	return best
 }
 
-func (t *MultiTree) fixOverflow(path []*MultiNode) {
+// fixOverflow splits overflowing nodes bottom-up and reports whether any
+// split happened — the signal the SoA mirror uses to tell patchable
+// (path-local) staleness from structural staleness.
+func (t *MultiTree) fixOverflow(path []*MultiNode) bool {
+	split := false
 	for i := len(path) - 1; i >= 0; i-- {
 		n := path[i]
 		over := (n.leaf && len(n.points) > t.cfg.MaxLeaf) || (!n.leaf && len(n.entries) > t.cfg.MaxFanout)
@@ -316,8 +339,9 @@ func (t *MultiTree) fixOverflow(path []*MultiNode) {
 			// covers all remaining levels (they gained no entries), so
 			// stop instead of re-summarizing per level.
 			t.refreshPath(path[:i+1])
-			return
+			return split
 		}
+		split = true
 		var left, right *MultiNode
 		if n.leaf {
 			if n.weights == nil {
@@ -333,7 +357,7 @@ func (t *MultiTree) fixOverflow(path []*MultiNode) {
 		}
 		if i == 0 {
 			t.root = &MultiNode{entries: []MultiEntry{t.summarize(left), t.summarize(right)}}
-			return
+			return true
 		}
 		parent := path[i-1]
 		for j := range parent.entries {
@@ -344,6 +368,7 @@ func (t *MultiTree) fixOverflow(path []*MultiNode) {
 		}
 		parent.entries = append(parent.entries, t.summarize(right))
 	}
+	return split
 }
 
 func (t *MultiTree) refreshPath(path []*MultiNode) {
@@ -390,6 +415,8 @@ func (t *MultiTree) queryConsts() *multiQueryState {
 		logNc: make([]float64, len(t.labels)),
 		kern:  make([]kernels.FrozenKernel, len(t.labels)),
 	}
+	st.sweep = make([]kernels.Sweeper, len(t.labels))
+	st.sweepOK = true
 	for c := range st.logNc {
 		if t.counts[c] > 0 {
 			st.logNc[c] = math.Log(t.counts[c])
@@ -397,6 +424,11 @@ func (t *MultiTree) queryConsts() *multiQueryState {
 			st.logNc[c] = math.Inf(1) // class absent: densities stay zero
 		}
 		st.kern[c] = kernels.FreezeKernel(t.cfg.Kernel, st.bw[c])
+		if sw, ok := st.kern[c].(kernels.Sweeper); ok {
+			st.sweep[c] = sw
+		} else {
+			st.sweepOK = false
+		}
 	}
 	t.queryState.Store(st)
 	return st
@@ -411,12 +443,17 @@ func (t *MultiTree) classGaussian(e *MultiEntry, c int) stats.Gaussian {
 	return e.CFs[c].Gaussian()
 }
 
-// mElem is a refinable element of the multi-class frontier.
+// mElem is a refinable element of the multi-class frontier. Its per-class
+// log terms live in the query's shared arena at [termOff, termOff+nc) —
+// one contiguous slice per query instead of one heap allocation per
+// element. child addresses the node on the pointer path; node is its
+// index in the SoA mirror when the fast path is active.
 type mElem struct {
-	prio     float64
-	logTerms []float64 // per class; -Inf when the class is absent
-	child    *MultiNode
-	seq      int
+	prio    float64
+	termOff int32
+	node    int32
+	child   *MultiNode
+	seq     int
 }
 
 // before orders the max-heap: highest prio first, FIFO seq as tie-break.
@@ -430,7 +467,8 @@ func (e mElem) before(other mElem) bool {
 type mHeap = pheap[mElem]
 
 // MultiQuery is an in-progress anytime classification against a
-// MultiTree. One Step refines all class models simultaneously.
+// MultiTree. One Step refines all class models simultaneously. Queries
+// are pooled — call Close when done to recycle the buffers.
 type MultiQuery struct {
 	t      *MultiTree
 	x      []float64
@@ -444,50 +482,107 @@ type MultiQuery struct {
 	kern   []kernels.FrozenKernel
 	logNc  []float64
 	obs    []int
+	obsBuf []int
 	reads  int
+	// terms is the arena backing every frontier element's per-class log
+	// terms (see mElem.termOff).
+	terms []float64
+	// soa/sweep are non-nil when this query descends through the
+	// structure-of-arrays mirror instead of the pointer tree.
+	soa       *multiSoA
+	sweep     []kernels.Sweeper
+	outBuf    []float64
+	finiteBuf []float64
+	scoreBuf  []float64
+	usedSoA   bool
 }
 
+var multiQueryPool = sync.Pool{New: func() any { return new(MultiQuery) }}
+
 // NewQuery starts an anytime classification of x. It returns an error for
-// an empty tree or one with empty classes.
+// an empty tree or one with empty classes. When the tree has a published
+// SoA mirror (and opts.ExactDescent is off), the query descends through
+// it; otherwise it uses the pointer path. Both paths produce bitwise
+// identical scores. Call Close when done with the query.
 func (t *MultiTree) NewQuery(x []float64, opts ClassifierOptions) (*MultiQuery, error) {
 	if t.size == 0 {
 		return nil, fmt.Errorf("core: query against empty multi tree")
 	}
 	st := t.queryConsts()
-	q := &MultiQuery{
-		t:      t,
-		x:      x,
-		opts:   opts,
-		accs:   make([]float64, len(t.labels)),
-		shifts: make([]float64, len(t.labels)),
-		kern:   st.kern,
-		logNc:  st.logNc,
-		obs:    stats.ObservedDims(x),
+	nc := len(t.labels)
+	q := multiQueryPool.Get().(*MultiQuery)
+	q.t = t
+	q.x = x
+	q.opts = opts
+	q.head, q.seq, q.reads = 0, 0, 0
+	if cap(q.accs) < nc {
+		q.accs = make([]float64, nc)
+		q.shifts = make([]float64, nc)
 	}
-	for c := range q.shifts {
+	q.accs = q.accs[:nc]
+	q.shifts = q.shifts[:nc]
+	for c := 0; c < nc; c++ {
+		q.accs[c] = 0
 		q.shifts[c] = math.Inf(-1)
 	}
-	q.pushEntry(&st.root)
+	q.kern = st.kern
+	q.logNc = st.logNc
+	q.obs, q.obsBuf = stats.ObservedDimsInto(x, q.obsBuf)
+	q.soa, q.sweep = nil, nil
+	if !opts.ExactDescent && st.sweepOK {
+		if m := t.soa.Load(); m != nil {
+			q.soa = m
+			q.sweep = st.sweep
+		}
+	}
+	q.usedSoA = q.soa != nil
+	q.pushEntry(&st.root, 0)
 	return q, nil
 }
 
+// Close releases the query's buffers back to the pool. The query must
+// not be used afterwards; Scores slices returned earlier stay valid.
+func (q *MultiQuery) Close() {
+	if q == nil || q.t == nil {
+		return
+	}
+	q.heap = q.heap[:cap(q.heap)]
+	clear(q.heap)
+	q.heap = q.heap[:0]
+	q.fifo = q.fifo[:cap(q.fifo)]
+	clear(q.fifo)
+	q.fifo = q.fifo[:0]
+	q.terms = q.terms[:0]
+	q.t, q.x, q.obs = nil, nil, nil
+	q.kern, q.logNc = nil, nil
+	q.soa, q.sweep = nil, nil
+	multiQueryPool.Put(q)
+}
+
+// UsedSoA reports whether this query descended through the
+// structure-of-arrays mirror (false = exact pointer path).
+func (q *MultiQuery) UsedSoA() bool { return q.usedSoA }
+
 // pushEntry converts an entry into a frontier element, adds its per-class
-// terms and enqueues it for refinement.
-func (q *MultiQuery) pushEntry(e *MultiEntry) {
+// terms and enqueues it for refinement. node is the entry's child index
+// in the SoA mirror (meaningful only on the fast path; the root entry's
+// child is always mirror node 0).
+func (q *MultiQuery) pushEntry(e *MultiEntry, node int32) {
 	nc := len(q.t.labels)
-	terms := make([]float64, nc)
+	off := len(q.terms)
 	for c := 0; c < nc; c++ {
 		if e.CFs[c].N <= 0 || math.IsInf(q.logNc[c], 1) {
-			terms[c] = math.Inf(-1)
+			q.terms = append(q.terms, math.Inf(-1))
 			continue
 		}
 		f := q.t.classFrozen(e, c)
-		terms[c] = f.LogN - q.logNc[c] + f.LogPDFObs(q.x, q.obs)
-		q.addTerm(c, terms[c])
+		term := f.LogN - q.logNc[c] + f.LogPDFObs(q.x, q.obs)
+		q.terms = append(q.terms, term)
+		q.addTerm(c, term)
 	}
-	el := mElem{logTerms: terms, child: e.Child, seq: q.seq}
+	el := mElem{termOff: int32(off), node: node, child: e.Child, seq: q.seq}
 	q.seq++
-	el.prio = q.prioFor(e, terms)
+	el.prio = q.prioFor(e, q.terms[off:off+nc])
 	switch q.opts.Strategy {
 	case DescentGlobal:
 		q.heap.push(el)
@@ -502,37 +597,18 @@ func (q *MultiQuery) prioFor(e *MultiEntry, terms []float64) float64 {
 	if q.opts.Priority == PriorityGeometric {
 		return -e.Rect.MinDist2Obs(q.x, q.obs)
 	}
-	finite := terms[:0:0]
+	finite := q.finiteBuf[:0]
 	for _, tm := range terms {
 		if !math.IsInf(tm, -1) {
 			finite = append(finite, tm)
 		}
 	}
+	q.finiteBuf = finite
 	prio := stats.LogSumExp(finite)
 	if q.t.mopts.EntropyPriority {
-		prio += math.Log1p(q.entropy(e))
+		prio += math.Log1p(multiEntryEntropy(e))
 	}
 	return prio
-}
-
-// entropy returns the class-label entropy (nats) of the entry's counts.
-func (q *MultiQuery) entropy(e *MultiEntry) float64 {
-	var total float64
-	for c := range e.CFs {
-		total += e.CFs[c].N
-	}
-	if total <= 0 {
-		return 0
-	}
-	var h float64
-	for c := range e.CFs {
-		if e.CFs[c].N <= 0 {
-			continue
-		}
-		p := e.CFs[c].N / total
-		h -= p * math.Log(p)
-	}
-	return h
 }
 
 func (q *MultiQuery) addTerm(c int, l float64) {
@@ -603,9 +679,21 @@ func (q *MultiQuery) Step() bool {
 	if !ok {
 		return false
 	}
+	q.consume(e)
+	return true
+}
+
+// consume refines one popped frontier element — through the SoA mirror
+// when the fast path is active, else through the pointer tree.
+func (q *MultiQuery) consume(e mElem) {
 	q.reads++
-	for c, l := range e.logTerms {
-		q.removeTerm(c, l)
+	nc := len(q.t.labels)
+	for c := 0; c < nc; c++ {
+		q.removeTerm(c, q.terms[int(e.termOff)+c])
+	}
+	if q.soa != nil {
+		q.refineSoA(int(e.node))
+		return
 	}
 	n := e.child
 	if n.leaf {
@@ -622,12 +710,11 @@ func (q *MultiQuery) Step() bool {
 			}
 			q.addTerm(c, l)
 		}
-		return true
+		return
 	}
 	for i := range n.entries {
-		q.pushEntry(&n.entries[i])
+		q.pushEntry(&n.entries[i], 0)
 	}
-	return true
 }
 
 // scores returns per-class log posterior scores. Priors normalise by
@@ -635,12 +722,18 @@ func (q *MultiQuery) Step() bool {
 // two are the same integral float64 value (digit-identical), while for
 // decayed trees only the mass sum keeps shard-combined scores on one
 // scale.
-func (q *MultiQuery) scores() []float64 {
+func (q *MultiQuery) scores() []float64 { return q.scoresInto(nil) }
+
+func (q *MultiQuery) scoresInto(out []float64) []float64 {
+	nc := len(q.t.labels)
+	if cap(out) < nc {
+		out = make([]float64, nc)
+	}
+	out = out[:nc]
 	var total float64
 	for _, c := range q.t.counts {
 		total += c
 	}
-	out := make([]float64, len(q.t.labels))
 	for c := range out {
 		if q.t.counts[c] <= 0 || q.accs[c] <= 0 || total <= 0 {
 			out[c] = math.Inf(-1)
@@ -658,11 +751,12 @@ func (q *MultiQuery) scores() []float64 {
 // Serving layers that shard one population across several trees combine
 // shard scores with a size-weighted log-sum-exp — CF additivity makes
 // the union model exactly the weighted mixture of the shard models.
-func (q *MultiQuery) Scores() []float64 { return q.scores() }
+func (q *MultiQuery) Scores() []float64 { return q.scoresInto(make([]float64, len(q.t.labels))) }
 
 // Predict returns the currently most probable label.
 func (q *MultiQuery) Predict() int {
-	s := q.scores()
+	s := q.scoresInto(q.scoreBuf)
+	q.scoreBuf = s
 	best := 0
 	for i := 1; i < len(s); i++ {
 		if s[i] > s[best] {
@@ -684,7 +778,9 @@ func (t *MultiTree) Classify(x []float64, opts ClassifierOptions, budget int) (i
 			break
 		}
 	}
-	return q.Predict(), nil
+	label := q.Predict()
+	q.Close()
+	return label, nil
 }
 
 // ClassifyTrace records the prediction after every node read, as
@@ -713,6 +809,7 @@ func (t *MultiTree) ClassifyTraceInto(x []float64, opts ClassifierOptions, budge
 			trace[i] = trace[i-1]
 		}
 	}
+	q.Close()
 	return trace, nil
 }
 

@@ -35,6 +35,10 @@ type CurveOptions struct {
 	Config func(dim int) core.Config
 	// Workers bounds classification parallelism (default GOMAXPROCS).
 	Workers int
+	// SoA publishes the structure-of-arrays mirror after building, so
+	// classification descends through the flat vectorized layout instead
+	// of the pointer tree (digit-identical scores, see internal/core).
+	SoA bool
 }
 
 func (o *CurveOptions) defaults() {
@@ -111,6 +115,9 @@ func AnytimeCurve(ds *dataset.Dataset, loader bulkload.Loader, opts CurveOptions
 			return nil, err
 		}
 		buildTime += time.Since(start)
+		if opts.SoA {
+			clf.RefreshSoA()
+		}
 		foldCorrect, err := traceCorrect(clf, test, opts.MaxNodes, opts.Workers)
 		if err != nil {
 			return nil, err
@@ -222,6 +229,9 @@ func MultiCurve(ds *dataset.Dataset, mopts core.MultiOptions, opts CurveOptions)
 			}
 		}
 		buildTime += time.Since(start)
+		if opts.SoA {
+			mt.RefreshSoA()
+		}
 		workers := opts.Workers
 		if workers > test.Len() {
 			workers = test.Len()

@@ -1,0 +1,126 @@
+package kernels
+
+import "math"
+
+// This file is the vectorized-descent companion of frozen.go: where a
+// FrozenKernel evaluates one (query, centre) pair at a time through an
+// interface call, a Sweeper evaluates one query against a whole
+// contiguous block of centres laid out as a flat float64 slice — the
+// structure-of-arrays leaf layout of internal/core — in a single loop
+// with no per-centre pointer dereference or dynamic dispatch. Every
+// sweep reproduces the per-row arithmetic of the corresponding
+// FrozenKernel method operation for operation, so a swept density is
+// digit-identical to the pointer-path density.
+
+// Sweeper is implemented by frozen kernels that can evaluate a query
+// against a flat block of kernel centres in one pass. centers holds
+// count rows of dim contiguous float64s; out receives count log
+// densities, each bitwise equal to LogDensityObs(x, row, obs).
+type Sweeper interface {
+	SweepLogDensityObs(x, centers []float64, count, dim int, obs []int, out []float64)
+}
+
+// SweepLogDensityObs implements Sweeper for the frozen Gaussian kernel,
+// replicating frozenGaussianKernel.LogDensity / LogDensityObs per row.
+func (f frozenGaussianKernel) SweepLogDensityObs(x, centers []float64, count, dim int, obs []int, out []float64) {
+	if obs == nil {
+		inv := f.invVar
+		for j := 0; j < count; j++ {
+			row := centers[j*dim : j*dim+dim]
+			var quad float64
+			for i, c := range row {
+				d := x[i] - c
+				quad += d * d * inv[i]
+			}
+			out[j] = f.logNorm - 0.5*quad
+		}
+		return
+	}
+	// The marginal's log-determinant depends only on the bandwidths, so
+	// it is accumulated once — the same additions in the same order as
+	// the per-row path, hence the same bits.
+	var logDet float64
+	for _, i := range obs {
+		logDet += f.logVar[i]
+	}
+	base := float64(len(obs)) * log2Pi
+	for j := 0; j < count; j++ {
+		row := centers[j*dim : j*dim+dim]
+		var quad float64
+		for _, i := range obs {
+			d := x[i] - row[i]
+			quad += d * d * f.invVar[i]
+		}
+		out[j] = -0.5 * (base + logDet + quad)
+	}
+}
+
+// SweepLogDensityObs implements Sweeper for the frozen Epanechnikov
+// kernel, replicating frozenEpanechnikov.LogDensity / LogDensityObs per
+// row (including the −Inf early-out outside the kernel's support).
+func (f frozenEpanechnikov) SweepLogDensityObs(x, centers []float64, count, dim int, obs []int, out []float64) {
+	if obs == nil {
+	rows:
+		for j := 0; j < count; j++ {
+			row := centers[j*dim : j*dim+dim]
+			logp := f.sumLQ
+			for i, c := range row {
+				u := (x[i] - c) * f.invS[i]
+				if u <= -1 || u >= 1 {
+					out[j] = math.Inf(-1)
+					continue rows
+				}
+				logp += math.Log1p(-u * u)
+			}
+			out[j] = logp
+		}
+		return
+	}
+obsRows:
+	for j := 0; j < count; j++ {
+		row := centers[j*dim : j*dim+dim]
+		var logp float64
+		for _, i := range obs {
+			u := (x[i] - row[i]) * f.invS[i]
+			if u <= -1 || u >= 1 {
+				out[j] = math.Inf(-1)
+				continue obsRows
+			}
+			logp += f.logQ[i] + math.Log1p(-u*u)
+		}
+		out[j] = logp
+	}
+}
+
+// SweepFrozenLogPDFObs evaluates a query against a flat block of frozen
+// diagonal Gaussians — count rows of means/invVar/logVar (dim values
+// each) plus one logNorm per row — writing count log densities into
+// out. Row j is bitwise equal to stats.FrozenGaussian.LogPDFObs for the
+// Gaussian those row constants came from; inner-node entries of a Bayes
+// tree are always Gaussian regardless of the leaf kernel, so this one
+// sweep serves every inner refinement.
+func SweepFrozenLogPDFObs(x, means, invVar, logVar, logNorm []float64, count, dim int, obs []int, out []float64) {
+	if obs == nil {
+		for j := 0; j < count; j++ {
+			base := j * dim
+			row := means[base : base+dim]
+			var quad float64
+			for i, m := range row {
+				d := x[i] - m
+				quad += d * d * invVar[base+i]
+			}
+			out[j] = logNorm[j] - 0.5*quad
+		}
+		return
+	}
+	for j := 0; j < count; j++ {
+		base := j * dim
+		var quad, logDet float64
+		for _, i := range obs {
+			d := x[i] - means[base+i]
+			quad += d * d * invVar[base+i]
+			logDet += logVar[base+i]
+		}
+		out[j] = -0.5 * (float64(len(obs))*log2Pi + logDet + quad)
+	}
+}

@@ -52,6 +52,56 @@ func BenchmarkServerClassify(b *testing.B) {
 	}
 }
 
+// BenchmarkServerClassifyExact is the pointer-layout baseline of
+// BenchmarkServerClassify: ExactDescent disables the structure-of-arrays
+// mirror, so diffing the two benchmarks prices the vectorized descent.
+func BenchmarkServerClassifyExact(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		for _, budget := range []int{10, 50, 200} {
+			b.Run(fmt.Sprintf("shards=%d/budget=%d", shards, budget), func(b *testing.B) {
+				s := benchServer(b, shards, Config{Query: core.ClassifierOptions{ExactDescent: true}})
+				var seed atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(seed.Add(1)))
+					for pb.Next() {
+						x, _ := genPoint(rng)
+						if _, err := s.Classify(x, budget); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkServerClassifyBatch measures the fused batch path: same-shard
+// queries advance in lockstep rounds sorted by node, so concurrent
+// descents share cache lines of the flat mirror.
+func BenchmarkServerClassifyBatch(b *testing.B) {
+	for _, batch := range []int{16, 128} {
+		b.Run(fmt.Sprintf("batch=%d/budget=50", batch), func(b *testing.B) {
+			s := benchServer(b, 4, Config{})
+			rng := rand.New(rand.NewSource(7))
+			xs := make([][]float64, batch)
+			budgets := make([]int, batch)
+			for i := range xs {
+				xs[i], _ = genPoint(rng)
+				budgets[i] = 50
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ClassifyBatchBudgets(xs, budgets, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "objects/s")
+		})
+	}
+}
+
 // BenchmarkServerMixed measures classification throughput with a
 // concurrent 5% insert write load — the serving-while-learning regime
 // the per-shard RW locks exist for.

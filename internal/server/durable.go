@@ -547,6 +547,14 @@ func (s *Server) Recover() error {
 	if err := s.openLogs(); err != nil {
 		return err
 	}
+	// Replay leaves the descent mirrors unpublished (every Insert
+	// invalidates); one refresh per shard restores the fast path before
+	// the server starts answering.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.refreshShardSoA(sh)
+		sh.mu.Unlock()
+	}
 	s.finishRecovery()
 	if !d.hadState || d.replayed.Load() > 0 || d.dropped.Load() > 0 {
 		return s.Checkpoint()

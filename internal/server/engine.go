@@ -57,6 +57,16 @@ type Model interface {
 	EnableDecay(core.DecayOptions) error
 }
 
+// soaShard is the optional model surface for the structure-of-arrays
+// descent mirror: models that implement it get their mirror refreshed
+// under the shard write lock after every mutation and report its
+// maintenance counters into /stats. *core.MultiTree implements it; the
+// clustering workload does not, so the engine hooks no-op there.
+type soaShard interface {
+	RefreshSoA()
+	SoACounters() (rebuilds, patches, invalidations int64)
+}
+
 // shard is one partition of a served model behind a reader/writer lock.
 type shard[M Model] struct {
 	mu   sync.RWMutex
@@ -91,6 +101,13 @@ type engine[M Model] struct {
 	maintStop chan struct{}
 	maintDone chan struct{}
 	closeOnce sync.Once
+
+	// soaRefresh gates the SoA mirror hooks (off under
+	// Config.Query.ExactDescent); soaHits/soaMisses count shard queries
+	// that did / did not descend through a published mirror.
+	soaRefresh bool
+	soaHits    atomic.Int64
+	soaMisses  atomic.Int64
 
 	requests       atomic.Int64
 	inserts        atomic.Int64
@@ -135,12 +152,31 @@ func (e *engine[M]) init(models []M, cfg Config, exclusive bool) error {
 			e.decayEpoch.Store(ep)
 		}
 	}
+	// Publish the structure-of-arrays descent mirror on every shard that
+	// supports it (unless exact descent is forced), so serving starts on
+	// the fast path; the per-mutation hooks keep it fresh from here.
+	e.soaRefresh = !cfg.Query.ExactDescent
+	for _, sh := range e.shards {
+		e.refreshShardSoA(sh)
+	}
 	if e.decayOn && cfg.DecayEvery > 0 {
 		e.maintStop = make(chan struct{})
 		e.maintDone = make(chan struct{})
 		go e.maintain(cfg.DecayEvery)
 	}
 	return nil
+}
+
+// refreshShardSoA refreshes a shard model's structure-of-arrays mirror
+// if the workload has one. The caller must hold the shard's write lock
+// (or otherwise have exclusive access, as init and recovery do).
+func (e *engine[M]) refreshShardSoA(sh *shard[M]) {
+	if !e.soaRefresh {
+		return
+	}
+	if m, ok := any(sh.tree).(soaShard); ok {
+		m.RefreshSoA()
+	}
 }
 
 // rlock takes the read side of a shard's lock — the write side instead
@@ -195,6 +231,10 @@ func (e *engine[M]) AdvanceDecay() core.SweepStats {
 		sh.mu.Lock()
 		sh.tree.AdvanceEpoch(1)
 		st := sh.tree.DecaySweep()
+		// Epoch advance and sweep are the structural invalidation
+		// triggers; rebuild the descent mirror while we still hold the
+		// write lock so reads never see a stale one.
+		e.refreshShardSoA(sh)
 		sh.mu.Unlock()
 		agg.PointsPruned += st.PointsPruned
 		agg.SubtreesPruned += st.SubtreesPruned
@@ -386,11 +426,19 @@ func (e *engine[M]) baseStats() Stats {
 		PointsPruned:   e.pointsPruned.Load(),
 		SubtreesPruned: e.subtreesPruned.Load(),
 	}
+	st.SoAHits = e.soaHits.Load()
+	st.SoAMisses = e.soaMisses.Load()
 	for _, sh := range e.shards {
 		e.rlock(sh)
 		n := sh.tree.Len()
 		st.Nodes += sh.tree.CountNodes()
 		st.Weight += sh.tree.Weight()
+		if m, ok := any(sh.tree).(soaShard); ok {
+			r, p, inv := m.SoACounters()
+			st.SoARebuilds += r
+			st.SoAPatches += p
+			st.SoAInvalidations += inv
+		}
 		e.runlock(sh)
 		st.ShardSizes = append(st.ShardSizes, n)
 		st.Observations += n

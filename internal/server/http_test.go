@@ -225,6 +225,36 @@ func TestHTTPInsertAndStats(t *testing.T) {
 	if st.Observations != 53 || st.Shards != 2 || st.Inserts != 53 {
 		t.Fatalf("stats %+v, want 53 observations (all via Insert) over 2 shards", st)
 	}
+
+	// The SoA counters' JSON field names are API: serve one query, then
+	// pin the wire names and check a refreshed server reports mirror
+	// activity and a mirror-served classification.
+	resp, err = http.Post(ts.URL+"/classify", "application/json",
+		strings.NewReader(`{"x":[3.0,-3.0,0.2],"budget":10}`))
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	for _, key := range []string{"soa_hits", "soa_misses", "soa_rebuilds", "soa_patches", "soa_invalidations"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("stats JSON missing wire name %q", key)
+		}
+	}
+	if hits, _ := raw["soa_hits"].(float64); hits < 1 {
+		t.Errorf("soa_hits = %v after a classify on a refreshed server, want >= 1", raw["soa_hits"])
+	}
+	if r, _ := raw["soa_rebuilds"].(float64); r < 1 {
+		t.Errorf("soa_rebuilds = %v after inserts, want >= 1", raw["soa_rebuilds"])
+	}
 }
 
 func TestHTTPDraining(t *testing.T) {

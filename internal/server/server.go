@@ -257,6 +257,12 @@ func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
 		}
 		read += q.NodesRead()
 		scores := q.Scores()
+		if q.UsedSoA() {
+			s.soaHits.Add(1)
+		} else {
+			s.soaMisses.Add(1)
+		}
+		q.Close()
 		sh.mu.RUnlock()
 		logW := math.Log(weights[i] / totalW)
 		for c, sc := range scores {
@@ -324,6 +330,12 @@ func (s *Server) Insert(x []float64, label int) error {
 		}
 	}
 	err := sh.tree.Insert(x, label)
+	if err == nil {
+		// Re-publish the descent mirror while the write lock still
+		// fences readers: split-free inserts patch in place, splits
+		// rebuild.
+		s.refreshShardSoA(sh)
+	}
 	sh.mu.Unlock()
 	if err != nil {
 		return err
@@ -360,6 +372,9 @@ func (s *Server) ApplyReplicated(shard int, payload []byte) error {
 		}
 	}
 	err = sh.tree.Insert(x, label)
+	if err == nil {
+		s.refreshShardSoA(sh)
+	}
 	sh.mu.Unlock()
 	if err != nil {
 		return err
@@ -369,37 +384,104 @@ func (s *Server) ApplyReplicated(shard int, payload []byte) error {
 	return nil
 }
 
-// ClassifyBatchBudgets classifies xs[i] with budget budgets[i] using a
-// pool of workers (≤ 0 = GOMAXPROCS, matching the core.Classifier
-// implementation of the same contract), returning predictions in input
-// order.
+// ClassifyBatchBudgets classifies xs[i] with budget budgets[i],
+// returning predictions in input order (workers ≤ 0 = GOMAXPROCS,
+// matching the core.Classifier implementation of the same contract).
 // Budgets are literal here — 0 means zero node reads, the level-0
 // answer — matching the stream.Engine contract, where each object's
 // budget is exactly what its inter-arrival gap allowed; only the hard
 // MaxBudget cap applies. Each item still passes the admission
 // controller individually, so a batch cannot starve single requests.
 // Together with Learn this implements stream.Engine.
+//
+// Unlike the solo path, which fans each request out over the shards on
+// its own, the batch runs one fused MultiTree.ScoreBatch per shard:
+// same-shard queries advance in lockstep and group their visits to the
+// same SoA node block, so the block's memory traffic is paid once per
+// round instead of once per query. Every item's scores stay bitwise
+// equal to its solo classification. (Fused queries are not counted in
+// the soa_hits/soa_misses stats — those track the solo path.)
 func (s *Server) ClassifyBatchBudgets(xs [][]float64, budgets []int, workers int) ([]int, error) {
 	if len(budgets) != len(xs) {
 		return nil, fmt.Errorf("server: %d budgets for %d objects", len(budgets), len(xs))
 	}
-	preds := make([]int, len(xs))
-	errs := make([]error, len(xs))
+	if len(xs) == 0 {
+		return []int{}, nil
+	}
+	for i, x := range xs {
+		if len(x) != s.dim {
+			return nil, fmt.Errorf("server: object %d dim %d != model dim %d", i, len(x), s.dim)
+		}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	runPool(len(xs), workers, func(i int) {
-		res, err := s.classifyResolved(xs[i], s.capBudget(budgets[i]))
-		if err != nil {
-			errs[i] = err
-			return
+	reads := make([]int, len(xs))
+	finishers := make([]func(int), len(xs))
+	defer func() {
+		for i, fin := range finishers {
+			if fin != nil {
+				fin(reads[i])
+			}
 		}
-		preds[i] = res.Label
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	}()
+	itemBudgets := make([][]int, len(xs))
+	sizes, weights, total, totalW := s.sizesAndWeights()
+	if total == 0 || totalW <= 0 {
+		return nil, fmt.Errorf("server: no observations yet")
+	}
+	for i := range xs {
+		granted, fin := s.grant(s.capBudget(budgets[i]))
+		finishers[i] = fin
+		itemBudgets[i] = splitBudget(granted, sizes, total)
+	}
+	// One fused batch per shard, every shard's results kept per item.
+	shardScores := make([][][]float64, len(s.shards))
+	shardBudgets := make([]int, len(xs))
+	for si, sh := range s.shards {
+		if sizes[si] == 0 {
+			continue
 		}
+		for i := range xs {
+			shardBudgets[i] = itemBudgets[i][si]
+		}
+		sh.mu.RLock()
+		scores, shardReads, err := sh.tree.ScoreBatch(xs, s.cfg.Query, shardBudgets, workers)
+		sh.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", si, err)
+		}
+		shardScores[si] = scores
+		for i, r := range shardReads {
+			reads[i] += r
+		}
+	}
+	// Size-weighted log-sum-exp merge per item — the same combination,
+	// in the same shard order, as the solo path.
+	preds := make([]int, len(xs))
+	buf := make([]float64, 0, len(s.shards))
+	for i := range xs {
+		best := 0
+		bestScore := math.Inf(-1)
+		for c := range s.labels {
+			buf = buf[:0]
+			for si := range s.shards {
+				if shardScores[si] == nil {
+					continue
+				}
+				if sc := shardScores[si][i][c]; !math.IsInf(sc, -1) {
+					buf = append(buf, math.Log(weights[si]/totalW)+sc)
+				}
+			}
+			combined := math.Inf(-1)
+			if len(buf) > 0 {
+				combined = stats.LogSumExp(buf)
+			}
+			if combined > bestScore {
+				best, bestScore = c, combined
+			}
+		}
+		preds[i] = s.labels[best]
 	}
 	return preds, nil
 }
@@ -479,6 +561,17 @@ type Stats struct {
 	Weight         float64 `json:"weight"`
 	PointsPruned   int64   `json:"points_pruned"`
 	SubtreesPruned int64   `json:"subtrees_pruned"`
+	// SoA reports the vectorized-descent mirror's effectiveness: hits and
+	// misses count solo classifications' shard queries that did / did not
+	// descend through a published structure-of-arrays mirror, and the
+	// rebuild/patch/invalidation counters aggregate the shards' mirror
+	// maintenance (the third trigger of the frozen-cache invalidation
+	// contract). All zero for workloads without a mirror.
+	SoAHits          int64 `json:"soa_hits"`
+	SoAMisses        int64 `json:"soa_misses"`
+	SoARebuilds      int64 `json:"soa_rebuilds"`
+	SoAPatches       int64 `json:"soa_patches"`
+	SoAInvalidations int64 `json:"soa_invalidations"`
 	// Durability reports the write-ahead-log state: whether inserts are
 	// logged, whether WAL replay is still rebuilding the model (writes
 	// rejected, /healthz failing), the replay and group-commit counters

@@ -32,6 +32,11 @@ type FrozenGaussian struct {
 // Dim returns the dimensionality of the frozen Gaussian.
 func (f *FrozenGaussian) Dim() int { return len(f.Mean) }
 
+// LogNorm returns the precomputed full-dimensional log-normaliser
+// −½(D·ln 2π + Σ ln σ²) — exposed so flat structure-of-arrays mirrors
+// can copy a frozen Gaussian's constants without re-deriving them.
+func (f *FrozenGaussian) LogNorm() float64 { return f.logNorm }
+
 // FrozenFromMoments builds a frozen Gaussian from mean and variance
 // vectors. The mean slice is retained (not copied); the variance slice is
 // only read. Variances are clamped to the floor.
