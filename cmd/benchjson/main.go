@@ -126,6 +126,11 @@ func main() {
 		registryColdLoadCell(),
 		registryChurnCell(),
 	)
+	// Scatter-gather proxy cells: read fan-out scaling over emulated
+	// single-core followers, and the p99 a hedged read claws back from an
+	// intermittently slow replica. See proxy.go for the emulation.
+	rep.Benchmarks = append(rep.Benchmarks, proxyScalingCells()...)
+	rep.Benchmarks = append(rep.Benchmarks, proxyHedgeCells()...)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

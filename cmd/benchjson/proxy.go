@@ -1,0 +1,273 @@
+package main
+
+// The proxy_scaling cells measure the scatter-gather tier end to end.
+// All backends run in this one process and would otherwise share
+// GOMAXPROCS, so raw multi-process scaling cannot appear; instead every
+// backend is wrapped in a one-request semaphore that charges a fixed
+// service time — the one-core-per-process emulation. What the cells
+// then isolate is exactly what the proxy adds: how throughput scales
+// when reads spread over 3 single-core followers versus one single-core
+// primary (at identical holdout accuracy, since every follower is a
+// snapshot copy), and how much of the tail a hedged read recovers when
+// one replica is intermittently slow.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"bayestree/internal/core"
+	"bayestree/internal/loadgen"
+	"bayestree/internal/proxy"
+	"bayestree/internal/server"
+)
+
+// backendService is the emulated per-request service time of one
+// single-core backend process.
+const backendService = 2 * time.Millisecond
+
+// emulateOneCore serializes a backend behind a one-slot semaphore and
+// charges service per request — a single-core process in miniature.
+// /stats stays outside the semaphore so the proxy's prober is never
+// queued behind emulated work.
+func emulateOneCore(h http.Handler, service time.Duration) http.Handler {
+	sem := make(chan struct{}, 1)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		time.Sleep(service)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// statsFacade overrides GET /stats with a fixed role (and, for
+// followers, a fresh staleness bound) so an in-process snapshot copy
+// presents to the prober the way a real replica would, while every
+// other endpoint serves the real model.
+func statsFacade(s *server.Server, role string, inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" && r.Method == http.MethodGet {
+			w.Header().Set("Content-Type", "application/json")
+			if role == "primary" {
+				fmt.Fprintf(w, `{"role":"primary","observations":%d}`, s.Len())
+				return
+			}
+			fmt.Fprintf(w, `{"role":"follower","staleness_ms":1,"observations":%d}`, s.Len())
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// snapshotCopies clones a server n times through its snapshot codec —
+// the same digit-identical state a bootstrapped follower would hold.
+func snapshotCopies(s *server.Server, n int) ([]*server.Server, error) {
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	out := make([]*server.Server, n)
+	for i := range out {
+		c, err := server.FromSnapshot(bytes.NewReader(buf.Bytes()), server.Config{})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// classifyScenario is the shared read-only measured phase: 2s of
+// closed-loop holdout classifies at concurrency 8, no warmup (the
+// caller seeds), identical seed so both sides score the same holdout.
+func classifyScenario(target string) loadgen.Scenario {
+	return loadgen.Scenario{
+		Target:      target,
+		Workload:    loadgen.WorkloadClassify,
+		Concurrency: 8,
+		Duration:    2 * time.Second,
+		Mix:         loadgen.Mix{InsertFraction: 0, Budget: 32},
+		Seed:        1,
+		Warmup:      -1,
+	}
+}
+
+// loadgenResult shapes a loadgen report as a benchmark cell.
+func loadgenResult(name string, rep *loadgen.Report, extra map[string]float64) result {
+	all := rep.Latency["all"]
+	if extra == nil {
+		extra = map[string]float64{}
+	}
+	extra["p50_ms"] = all.P50Ms
+	extra["p90_ms"] = all.P90Ms
+	extra["p999_ms"] = all.P999Ms
+	extra["max_ms"] = all.MaxMs
+	extra["error_rate"] = rep.ErrorRate
+	extra["accuracy"] = rep.Quality.Accuracy
+	return result{
+		Name: name, N: int(rep.Requests),
+		NsPerOp: all.P99Ms * 1e6, OpsPerSec: rep.AchievedRPS,
+		Extra: extra,
+	}
+}
+
+// proxyScalingCells measures read fan-out scaling: the same read-only
+// holdout traffic against one emulated single-core primary directly,
+// then through the proxy over three snapshot-copy followers (each its
+// own single core). The proxy cell's extra carries the throughput
+// speedup; accuracy in both cells must match, since every follower is
+// digit-identical to the baseline model and the seed fixes the holdout.
+func proxyScalingCells() []result {
+	prim, err := server.NewEmpty(4, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, server.Config{})
+	if err != nil {
+		fatalf("proxy scaling cell: %v", err)
+	}
+	primTS := httptest.NewServer(emulateOneCore(statsFacade(prim, "primary", prim.Handler()), backendService))
+	defer primTS.Close()
+
+	// Seed the model through the primary the way a real deployment would
+	// (600 warmup inserts), then run the read-only baseline.
+	sc := classifyScenario(primTS.URL)
+	sc.Warmup = 600
+	baseRep, err := loadgen.Run(context.Background(), sc)
+	if err != nil {
+		fatalf("proxy scaling baseline: %v", err)
+	}
+
+	// Followers are snapshot copies of the now-seeded primary — what a
+	// caught-up replica holds. (The baseline's measured phase is
+	// read-only, so the model is unchanged since warmup.)
+	copies, err := snapshotCopies(prim, 3)
+	if err != nil {
+		fatalf("proxy scaling cell: %v", err)
+	}
+	replicas := make([]string, len(copies))
+	for i, c := range copies {
+		ts := httptest.NewServer(emulateOneCore(statsFacade(c, "follower", c.Handler()), backendService))
+		defer ts.Close()
+		replicas[i] = ts.URL
+	}
+
+	p, err := proxy.New(proxy.Config{
+		Groups: []proxy.Group{{Primary: primTS.URL, Replicas: replicas}},
+		Hedge:  false, // pure fan-out scaling; the hedge cells price hedging
+	})
+	if err != nil {
+		fatalf("proxy scaling cell: %v", err)
+	}
+	defer p.Close()
+	p.Start()
+	pts := httptest.NewServer(p.Handler())
+	defer pts.Close()
+
+	proxRep, err := loadgen.Run(context.Background(), classifyScenario(pts.URL))
+	if err != nil {
+		fatalf("proxy scaling proxy run: %v", err)
+	}
+
+	speedup := 0.0
+	if baseRep.AchievedRPS > 0 {
+		speedup = proxRep.AchievedRPS / baseRep.AchievedRPS
+	}
+	return []result{
+		loadgenResult("proxy_scaling/followers=0/baseline", baseRep, nil),
+		loadgenResult("proxy_scaling/followers=3", proxRep, map[string]float64{
+			"speedup_x":         speedup,
+			"baseline_rps":      baseRep.AchievedRPS,
+			"baseline_accuracy": baseRep.Quality.Accuracy,
+		}),
+	}
+}
+
+// slowEveryNth makes every nth /classify pay extra service time — an
+// intermittently slow replica (GC pause, page-in, noisy neighbor), the
+// tail-latency shape hedging exists for.
+func slowEveryNth(h http.Handler, n int64, extra time.Duration) http.Handler {
+	var count atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/classify" && count.Add(1)%n == 0 {
+			time.Sleep(extra)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// proxyHedgeCells measures what hedged reads recover: two snapshot-copy
+// followers, one of which stalls every 20th classify by 200ms, under the
+// same read-only traffic with hedging off and then on. Unhedged, every
+// stall lands in the tail; hedged, the proxy re-issues to the other
+// follower after the tracked p95 and the stall is capped near the
+// hedge delay.
+func proxyHedgeCells() []result {
+	prim, err := server.NewEmpty(4, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, server.Config{})
+	if err != nil {
+		fatalf("proxy hedge cell: %v", err)
+	}
+	primTS := httptest.NewServer(emulateOneCore(statsFacade(prim, "primary", prim.Handler()), backendService))
+	defer primTS.Close()
+	sc := classifyScenario(primTS.URL)
+	sc.Warmup = 600
+	sc.Duration = time.Millisecond // seed only; the measured runs go through the proxy
+	if _, err := loadgen.Run(context.Background(), sc); err != nil {
+		fatalf("proxy hedge seed: %v", err)
+	}
+
+	copies, err := snapshotCopies(prim, 2)
+	if err != nil {
+		fatalf("proxy hedge cell: %v", err)
+	}
+	replicas := make([]string, len(copies))
+	for i, c := range copies {
+		h := emulateOneCore(statsFacade(c, "follower", c.Handler()), backendService)
+		if i == 0 {
+			h = slowEveryNth(h, 20, 200*time.Millisecond)
+		}
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		replicas[i] = ts.URL
+	}
+
+	cells := make([]result, 0, 2)
+	var offP99 float64
+	for _, hedge := range []bool{false, true} {
+		p, err := proxy.New(proxy.Config{
+			Groups: []proxy.Group{{Primary: primTS.URL, Replicas: replicas}},
+			Hedge:  hedge,
+		})
+		if err != nil {
+			fatalf("proxy hedge cell: %v", err)
+		}
+		p.Start()
+		pts := httptest.NewServer(p.Handler())
+		rep, err := loadgen.Run(context.Background(), classifyScenario(pts.URL))
+		pts.Close()
+		st := p.CurrentStats()
+		p.Close()
+		if err != nil {
+			fatalf("proxy hedge run: %v", err)
+		}
+		name := "proxy_scaling/hedge=off"
+		extra := map[string]float64{}
+		if hedge {
+			name = "proxy_scaling/hedge=on"
+			extra["hedges"] = float64(st.Hedges)
+			extra["hedge_wins"] = float64(st.HedgeWins)
+			extra["hedge_delay_ms"] = st.HedgeDelayMs
+			if p99 := rep.Latency["all"].P99Ms; p99 > 0 {
+				extra["p99_cut_x"] = offP99 / p99
+			}
+		} else {
+			offP99 = rep.Latency["all"].P99Ms
+		}
+		cells = append(cells, loadgenResult(name, rep, extra))
+	}
+	return cells
+}

@@ -62,6 +62,8 @@ func main() {
 		snapshot = flag.String("snapshot", "", "snapshot path: warm-start from it when present, write it back on drain")
 		dsName   = flag.String("dataset", "", "bootstrap data set when no snapshot exists (pendigits|letter|gender|covertype)")
 		scale    = flag.Float64("scale", 0.05, "bootstrap data set scale in (0,1]")
+		emptyDim = flag.Int("empty-dim", 0, "bootstrap an empty model of this dimensionality when no snapshot or dataset is given — the model is built entirely by ingest traffic")
+		emptyLab = flag.String("empty-labels", "0,1,2", "comma-separated class label set of an -empty-dim bootstrap")
 		seed     = flag.Int64("seed", 42, "bootstrap shuffle seed")
 		budget   = flag.Int("budget", 32, "default per-request node budget when the request sets none")
 		maxB     = flag.Int("max-budget", server.DefaultMaxBudget, "hard cap on any request's node budget")
@@ -92,7 +94,8 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"Usage: serveclass [flags]\n\n"+
 				"Serve anytime classification over HTTP from a sharded Bayes tree model.\n"+
-				"Model source: -snapshot (warm start) or -dataset (bootstrap); one is required.\n"+
+				"Model source: -snapshot (warm start), -dataset (bootstrap), or -empty-dim\n"+
+				"(start empty and let ingest traffic build the model); one is required.\n"+
 				"-decay-lambda enables exponential forgetting (concept-drift tracking with\n"+
 				"bounded memory); -decay-every sets the epoch length and -min-weight the\n"+
 				"maintenance sweep's pruning floor.\n"+
@@ -205,7 +208,7 @@ func main() {
 	}
 
 	bootstrap := func() (*server.Server, error) {
-		return buildServer(*snapshot, *dsName, *scale, *seed, *shards, *pooled, *entropy, cfg)
+		return buildServer(*snapshot, *dsName, *scale, *seed, *shards, *emptyDim, *emptyLab, *pooled, *entropy, cfg)
 	}
 	var s *server.Server
 	var err error
@@ -406,7 +409,7 @@ func (e usageError) Error() string { return string(e) }
 // buildServer resolves the model source: an existing snapshot wins,
 // otherwise a data set is bootstrapped into empty shards via the same
 // hash routing online inserts use.
-func buildServer(snapshot, dsName string, scale float64, seed int64, shards int, pooled, entropy bool, cfg server.Config) (*server.Server, error) {
+func buildServer(snapshot, dsName string, scale float64, seed int64, shards, emptyDim int, emptyLabels string, pooled, entropy bool, cfg server.Config) (*server.Server, error) {
 	if snapshot != "" {
 		f, err := os.Open(snapshot)
 		if err == nil {
@@ -423,11 +426,24 @@ func buildServer(snapshot, dsName string, scale float64, seed int64, shards int,
 		}
 		log.Printf("snapshot %s does not exist yet; bootstrapping", snapshot)
 	}
-	if dsName == "" {
-		return nil, usageError("need -snapshot (existing) or -dataset to build a model")
-	}
 	if shards < 1 {
 		return nil, usageError(fmt.Sprintf("-shards must be ≥ 1, got %d", shards))
+	}
+	if dsName == "" {
+		if emptyDim <= 0 {
+			return nil, usageError("need -snapshot (existing), -dataset or -empty-dim to build a model")
+		}
+		labels, err := parseLabelList(emptyLabels)
+		if err != nil {
+			return nil, usageError(fmt.Sprintf("-empty-labels: %v", err))
+		}
+		mopts := core.MultiOptions{PooledVariance: pooled, EntropyPriority: entropy}
+		s, err := server.NewEmpty(shards, core.DefaultConfig(emptyDim), labels, mopts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("bootstrapped empty model: %d dims, %d classes, %d shards — awaiting ingest", emptyDim, len(labels), shards)
+		return s, nil
 	}
 	ds, err := dataset.ByName(dsName, scale)
 	if err != nil {

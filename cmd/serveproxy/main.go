@@ -1,0 +1,143 @@
+// Command serveproxy runs the scatter-gather serving proxy: a
+// stateless L7 tier in front of one or more primary/replica groups
+// that consistent-hash-routes writes to the owning primary (following
+// 307s and failing over to a promoted replica on its own), scatters
+// reads across fresh followers with size-proportional budget splits
+// and exact merges, and hedges slow reads against the next-least-stale
+// replica.
+//
+// One group, a primary with two followers:
+//
+//	serveproxy -addr :8090 -group http://primary:8080,http://replica1:8081,http://replica2:8082
+//
+// Two groups (writes hash across them with the engine's shard
+// function; reads scatter over both and merge exactly):
+//
+//	serveproxy -group http://p0:8080,http://r0:8081 -group http://p1:8090,http://r1:8091
+//
+// Endpoints: POST /classify and GET /microclusters, /macroclusters
+// (scattered reads), POST /insert and /cluster (routed writes), GET
+// /stats (proxy counters + per-backend routing view), GET /healthz,
+// GET /readyz. NDJSON streaming bodies are rejected — the proxy routes
+// each point individually.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bayestree/internal/proxy"
+	"bayestree/internal/serve"
+)
+
+// groupFlag collects repeated -group flags, each a comma-separated
+// primary,replica,replica... URL list.
+type groupFlag []proxy.Group
+
+// String renders the collected groups for flag help.
+func (g *groupFlag) String() string {
+	parts := make([]string, len(*g))
+	for i, gr := range *g {
+		parts[i] = strings.Join(append([]string{gr.Primary}, gr.Replicas...), ",")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Set parses one -group value.
+func (g *groupFlag) Set(v string) error {
+	var urls []string
+	for _, u := range strings.Split(v, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return fmt.Errorf("backend URL %q must start with http:// or https://", u)
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("empty group")
+	}
+	*g = append(*g, proxy.Group{Primary: urls[0], Replicas: urls[1:]})
+	return nil
+}
+
+func main() {
+	var groups groupFlag
+	var (
+		addr         = flag.String("addr", ":8090", "HTTP listen address")
+		budget       = flag.Int("budget", 32, "default classify node budget when a request sends 0")
+		maxBudget    = flag.Int("max-budget", 0, "per-request budget cap (0 = server default)")
+		probeEvery   = flag.Duration("probe-every", 250*time.Millisecond, "backend health/staleness probe period")
+		maxStaleness = flag.Duration("max-staleness", 5*time.Second, "follower freshness window; staler followers are skipped for reads")
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "end-to-end bound on one proxied read")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "end-to-end bound on one proxied write including failover retries")
+		hedge        = flag.Bool("hedge", true, "hedge slow reads against the next-least-stale replica")
+		hedgeMin     = flag.Duration("hedge-min", 2*time.Millisecond, "floor on the hedge trigger delay (tracked p95 otherwise)")
+		retries      = flag.Int("write-retries", 8, "write failover retries, each after a synchronous re-probe")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful drain timeout on SIGTERM/SIGINT")
+	)
+	flag.Var(&groups, "group", "one primary/replica group as primary,replica,replica... (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `serveproxy — scatter-gather proxy over primary/replica groups
+
+Usage:
+  serveproxy -group http://primary:8080,http://replica:8081 [-group ...] [flags]
+
+Examples:
+  serveproxy -addr :8090 -group http://localhost:8080,http://localhost:8081,http://localhost:8082
+  serveproxy -group http://p0:8080,http://r0:8081 -group http://p1:8090,http://r1:8091 -hedge=false
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErrorf("unexpected arguments %v", flag.Args())
+	}
+	if len(groups) == 0 {
+		usageErrorf("at least one -group is required")
+	}
+
+	p, err := proxy.New(proxy.Config{
+		Groups:        groups,
+		DefaultBudget: *budget,
+		MaxBudget:     *maxBudget,
+		ProbeEvery:    *probeEvery,
+		MaxStaleness:  *maxStaleness,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		Hedge:         *hedge,
+		HedgeMin:      *hedgeMin,
+		WriteRetries:  *retries,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serveproxy: %v\n", err)
+		os.Exit(1)
+	}
+	p.Start()
+
+	if err := serve.Run(serve.App{
+		Name:         "serveproxy",
+		Addr:         *addr,
+		Handler:      p.Handler(),
+		DrainTimeout: *drain,
+		SetDraining:  p.SetDraining,
+		Close:        func() { p.Close() },
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "serveproxy: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// usageErrorf prints a usage error plus the flag help and exits 2.
+func usageErrorf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "serveproxy: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

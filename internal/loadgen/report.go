@@ -67,6 +67,10 @@ type Report struct {
 	Latency map[string]Snapshot `json:"latency"`
 	// Quality is the answer-quality block.
 	Quality Quality `json:"quality"`
+	// Backends maps backend URL to requests served, when the target is a
+	// scatter-gather proxy (read from its /stats after the measured
+	// phase) — how the load actually spread across the replica set.
+	Backends map[string]int64 `json:"backend_requests,omitempty"`
 	// Breaches lists violated SLO clauses (filled by SLO.Evaluate).
 	Breaches []string `json:"breaches,omitempty"`
 }

@@ -279,10 +279,42 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		elapsed = rs.runOpen(ctx, holdout)
 	}
 	rep := rs.report(elapsed)
+	rep.Backends = fetchBackendRequests(sc)
 	if rep.Requests == 0 && ctx.Err() != nil {
 		return rep, ctx.Err()
 	}
 	return rep, nil
+}
+
+// fetchBackendRequests asks the target's /stats whether it is a
+// scatter-gather proxy and, if so, returns requests served per backend.
+// Any failure (plain server, no /stats, decode error) returns nil — the
+// field is informational, never a run error.
+func fetchBackendRequests(sc Scenario) map[string]int64 {
+	resp, err := sc.Client.Get(sc.Target + "/stats")
+	if err != nil {
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st struct {
+		Proxy    bool `json:"proxy"`
+		Backends []struct {
+			URL      string `json:"url"`
+			Requests int64  `json:"requests"`
+		} `json:"backends"`
+	}
+	if json.Unmarshal(body, &st) != nil || !st.Proxy || len(st.Backends) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(st.Backends))
+	for _, b := range st.Backends {
+		out[b.URL] = b.Requests
+	}
+	return out
 }
 
 // runClosed is the fixed-concurrency mode: each worker issues requests

@@ -1,0 +1,336 @@
+package proxy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayestree/internal/replica"
+)
+
+// backend is one upstream process: its base URL, a dedicated pooled
+// transport (so one slow backend cannot starve another's connection
+// pool), request counters, and the last probe's view of it.
+type backend struct {
+	url       string
+	group     int
+	seedRole  bool // configured as the group's primary seed
+	client    *http.Client
+	transport *http.Transport
+
+	requests  atomic.Int64
+	errors    atomic.Int64
+	redirects atomic.Int64
+
+	mu sync.Mutex
+	st probeState
+}
+
+// probeState is what the last /stats probe learned.
+type probeState struct {
+	ok           bool
+	role         string
+	epoch        uint64
+	fenced       bool
+	recovering   bool
+	draining     bool
+	stalenessMs  int64
+	appliedLSN   uint64
+	observations int
+	weight       float64
+	hubBuffered  int
+	at           time.Time
+}
+
+// backendStats is the subset of a server's /stats the prober reads.
+type backendStats struct {
+	Role            string  `json:"role"`
+	Epoch           uint64  `json:"epoch"`
+	Fenced          bool    `json:"fenced"`
+	Recovering      bool    `json:"recovering"`
+	Draining        bool    `json:"draining"`
+	StalenessMs     int64   `json:"staleness_ms"`
+	AppliedLSN      uint64  `json:"applied_lsn"`
+	Observations    int     `json:"observations"`
+	Weight          float64 `json:"weight"`
+	ReplSubBuffered []int   `json:"repl_sub_buffered"`
+}
+
+// newBackend builds a backend with its own pooled transport. The
+// client chases redirects (a follower's 307 to its primary, method and
+// body preserved) up to a small bound, counting them.
+func newBackend(url string, group int, seedRole bool) *backend {
+	tr := &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   2 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	b := &backend{url: url, group: group, seedRole: seedRole, transport: tr}
+	b.client = &http.Client{
+		Transport: tr,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			if len(via) >= 3 {
+				return fmt.Errorf("proxy: redirect chain exceeded 3 hops")
+			}
+			b.redirects.Add(1)
+			return nil
+		},
+	}
+	return b
+}
+
+func (b *backend) closeIdle() { b.transport.CloseIdleConnections() }
+
+// state returns the last probe's view.
+func (b *backend) state() probeState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}
+
+func (b *backend) setState(st probeState) {
+	b.mu.Lock()
+	b.st = st
+	b.mu.Unlock()
+}
+
+// group is one primary/replica group plus the read round-robin cursor.
+type group struct {
+	index    int
+	backends []*backend
+	rr       atomic.Uint64
+}
+
+// anyHealthy reports whether any backend answered its last probe.
+func (g *group) anyHealthy() bool {
+	for _, b := range g.backends {
+		if b.state().ok {
+			return true
+		}
+	}
+	return false
+}
+
+// primary returns the group's routable primary: probed ok, reporting
+// role primary, not fenced/recovering/draining; the highest epoch wins
+// when a stale ex-primary is still answering.
+func (g *group) primary() *backend {
+	var best *backend
+	var bestEpoch uint64
+	for _, b := range g.backends {
+		st := b.state()
+		if st.ok && st.role == "primary" && !st.fenced && !st.recovering && !st.draining {
+			if best == nil || st.epoch > bestEpoch {
+				best, bestEpoch = b, st.epoch
+			}
+		}
+	}
+	return best
+}
+
+// observations is the group's probed observation count (primary's view
+// preferred; any healthy backend's otherwise) — the size the budget
+// split weighs this group by.
+func (g *group) observations() int {
+	if b := g.primary(); b != nil {
+		return b.state().observations
+	}
+	for _, b := range g.backends {
+		if st := b.state(); st.ok {
+			return st.observations
+		}
+	}
+	return 0
+}
+
+// readTargets plans one read: fresh followers (probed ok, staleness
+// within maxStale) ordered least-stale-first with the head rotated
+// round-robin so load spreads, and the primary appended as the
+// degrade-never-error fallback. viaPrimary reports that no fresh
+// follower existed and the read will hit the primary directly.
+func (g *group) readTargets(maxStale time.Duration) (targets []*backend, viaPrimary bool) {
+	type cand struct {
+		b     *backend
+		stale int64
+	}
+	var fresh []cand
+	for _, b := range g.backends {
+		st := b.state()
+		if st.ok && st.role == "follower" && !st.recovering && !st.draining &&
+			st.stalenessMs >= 0 && st.stalenessMs <= maxStale.Milliseconds() {
+			fresh = append(fresh, cand{b, st.stalenessMs})
+		}
+	}
+	pb := g.primary()
+	if len(fresh) == 0 {
+		if pb != nil {
+			return []*backend{pb}, true
+		}
+		// Cold start: nothing probed yet — try everything, seed first.
+		for _, b := range g.backends {
+			targets = append(targets, b)
+		}
+		return targets, true
+	}
+	sort.SliceStable(fresh, func(i, j int) bool { return fresh[i].stale < fresh[j].stale })
+	head := int(g.rr.Add(1)-1) % len(fresh)
+	targets = append(targets, fresh[head].b)
+	for i, c := range fresh {
+		if i != head {
+			targets = append(targets, c.b)
+		}
+	}
+	if pb != nil {
+		targets = append(targets, pb)
+	}
+	return targets, false
+}
+
+// ---------------------------------------------------------------------
+// Prober
+
+// ProbeNow sweeps every group synchronously: each backend's /stats is
+// fetched in parallel, then stale unfenced primaries are told about the
+// newest epoch so they fence themselves (the proxy as fencing
+// messenger — a dead primary that comes back learns it lost the moment
+// the prober sees it).
+func (p *Proxy) ProbeNow() {
+	var wg sync.WaitGroup
+	for _, g := range p.groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			p.probeGroup(g)
+		}(g)
+	}
+	wg.Wait()
+}
+
+// probeGroup probes all of g's backends and runs the fencing assist.
+func (p *Proxy) probeGroup(g *group) {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			p.probeBackend(b)
+		}(b)
+	}
+	wg.Wait()
+	p.fenceStale(g)
+}
+
+// probeTimeout bounds one probe exchange.
+func (p *Proxy) probeTimeout() time.Duration {
+	d := p.cfg.ProbeEvery
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+func (p *Proxy) probeBackend(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout())
+	defer cancel()
+	status, data, err := b.probeFetch(ctx)
+	st := probeState{at: time.Now()}
+	if err == nil && status == http.StatusOK {
+		var bs backendStats
+		if json.Unmarshal(data, &bs) == nil {
+			st.ok = true
+			st.role = bs.Role
+			st.epoch = bs.Epoch
+			st.fenced = bs.Fenced
+			st.recovering = bs.Recovering
+			st.draining = bs.Draining
+			st.stalenessMs = bs.StalenessMs
+			st.appliedLSN = bs.AppliedLSN
+			st.observations = bs.Observations
+			st.weight = bs.Weight
+			for _, d := range bs.ReplSubBuffered {
+				if d > st.hubBuffered {
+					st.hubBuffered = d
+				}
+			}
+		}
+	}
+	b.setState(st)
+}
+
+// fenceStale is the prober's fencing assist: when a group shows more
+// than one live unfenced primary (a restarted ex-primary racing the
+// promoted replica), every lower-epoch one is probed with the max
+// epoch via the replication fencing header so it durably fences
+// itself, then re-probed to pick the fenced state up.
+func (p *Proxy) fenceStale(g *group) {
+	var maxEpoch uint64
+	count := 0
+	for _, b := range g.backends {
+		if st := b.state(); st.ok && st.role == "primary" && !st.fenced {
+			count++
+			if st.epoch > maxEpoch {
+				maxEpoch = st.epoch
+			}
+		}
+	}
+	if count < 2 {
+		return
+	}
+	for _, b := range g.backends {
+		if st := b.state(); st.ok && st.role == "primary" && !st.fenced && st.epoch < maxEpoch {
+			p.fenceProbe(b, maxEpoch)
+			p.probeBackend(b)
+		}
+	}
+}
+
+// probeFetch is a /stats exchange outside the request counters, so the
+// routing counts /stats reports measure routed traffic, not probes.
+func (b *backend) probeFetch(ctx context.Context) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/stats", nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// fenceProbe tells b a primary at epoch exists, via the same header a
+// reconnecting follower would send.
+func (p *Proxy) fenceProbe(b *backend, epoch uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/replicate", nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set(replica.EpochHeader, replica.FormatEpoch(epoch))
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

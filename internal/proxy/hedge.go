@@ -1,0 +1,177 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyTracker keeps a ring of recent read latencies and a cached
+// p95 — the hedge trigger. The p95 is recomputed every refreshEvery
+// observations rather than per read, so the hot path pays one atomic
+// load.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [256]int64
+	n       int
+	idx     int
+	since   int
+	p95ns   atomic.Int64
+	count   atomic.Int64
+}
+
+// trackerMinSamples is how many observations the tracker needs before
+// its p95 is trusted; below it the hedge delay is unwarmedHedgeDelay.
+const trackerMinSamples = 8
+
+// trackerRefreshEvery is how many observations pass between p95
+// recomputations.
+const trackerRefreshEvery = 16
+
+// unwarmedHedgeDelay is the hedge delay before the tracker has enough
+// samples.
+const unwarmedHedgeDelay = 25 * time.Millisecond
+
+func newLatencyTracker() *latencyTracker { return &latencyTracker{} }
+
+// observe records one read latency.
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.idx] = int64(d)
+	t.idx = (t.idx + 1) % len(t.samples)
+	if t.n < len(t.samples) {
+		t.n++
+	}
+	t.since++
+	recompute := t.since >= trackerRefreshEvery || int64(t.n) == trackerMinSamples
+	if recompute {
+		t.since = 0
+		buf := make([]int64, t.n)
+		copy(buf, t.samples[:t.n])
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		t.p95ns.Store(buf[(len(buf)*95)/100])
+	}
+	t.count.Add(1)
+	t.mu.Unlock()
+}
+
+// p95 returns the cached p95 and whether enough samples back it.
+func (t *latencyTracker) p95() (time.Duration, bool) {
+	if t.count.Load() < trackerMinSamples {
+		return 0, false
+	}
+	return time.Duration(t.p95ns.Load()), true
+}
+
+// hedgeDelay resolves the current hedge trigger: the tracked p95
+// floored at HedgeMin, or the fixed unwarmed delay before the tracker
+// has seen enough reads.
+func (p *Proxy) hedgeDelay() time.Duration {
+	d, ok := p.lat.p95()
+	if !ok {
+		d = unwarmedHedgeDelay
+	}
+	if d < p.cfg.HedgeMin {
+		d = p.cfg.HedgeMin
+	}
+	if max := p.cfg.ReadTimeout / 2; d > max {
+		d = max
+	}
+	return d
+}
+
+// readResult is one completed backend exchange inside a hedged read.
+type readResult struct {
+	backend *backend
+	status  int
+	body    []byte
+	err     error
+	hedged  bool
+}
+
+// hedgedRead serves one read against a group. The first attempt goes to
+// the group's planned head target; if hedging is on and no response
+// arrived within the tracked delay, exactly one hedge is issued to the
+// next target (the next-least-stale replica). The first response wins
+// and every loser's context is cancelled. Hard failures (transport
+// error or 5xx) fall through to the next unlaunched target immediately,
+// ending with the primary — the degrade-never-error fallback.
+func (p *Proxy) hedgedRead(ctx context.Context, g *group, build func(b *backend) readAttempt) (readResult, error) {
+	targets, viaPrimary := g.readTargets(p.cfg.MaxStaleness)
+	if len(targets) == 0 {
+		return readResult{}, fmt.Errorf("no reachable backend")
+	}
+	if viaPrimary {
+		p.primaryFallbacks.Add(1)
+	}
+	start := time.Now()
+	results := make(chan readResult, len(targets))
+	cancels := make([]context.CancelFunc, 0, len(targets))
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	next := 0
+	inflight := 0
+	launch := func(hedged bool) {
+		b := targets[next]
+		next++
+		inflight++
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		at := build(b)
+		go func() {
+			status, body, err := b.fetch(actx, at.method, at.path, at.body)
+			results <- readResult{backend: b, status: status, body: body, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	hedgeArmed := p.cfg.Hedge && next < len(targets)
+	if hedgeArmed {
+		timer := time.NewTimer(p.hedgeDelay())
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return readResult{}, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(targets) {
+				p.hedges.Add(1)
+				launch(true)
+			}
+		case rr := <-results:
+			inflight--
+			if rr.err == nil && rr.status < 500 {
+				if rr.hedged {
+					p.hedgeWins.Add(1)
+				}
+				p.lat.observe(time.Since(start))
+				return rr, nil
+			}
+			if rr.err != nil {
+				lastErr = rr.err
+			} else {
+				lastErr = backendStatusError(rr.status, rr.body)
+			}
+			// Hard failure: try the next target right away; when none are
+			// left and nothing is in flight, the read has truly failed.
+			if next < len(targets) {
+				launch(false)
+			} else if inflight == 0 {
+				return readResult{}, lastErr
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package proxy
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// resultPayload is the identical answer both fake replicas serve —
+// replicas of one primary are digit-identical, so hedged and unhedged
+// reads must produce byte-identical proxy responses.
+const resultPayload = `{"label":1,"requested":32,"granted":32,"nodes_read":32,"degraded":false,"scores":[-1.5,-0.5,-2.5],"weight":100,"labels":[0,1,2]}`
+
+// fakeReplica is a scripted follower backend: fixed staleness, a
+// switchable slow mode for /classify, and a record of whether a slow
+// request saw its context cancelled.
+type fakeReplica struct {
+	ts        *httptest.Server
+	slow      atomic.Bool
+	slowDelay time.Duration
+	cancelled chan struct{}
+	served    atomic.Int64
+}
+
+func newFakeReplica(t *testing.T, stalenessMs int, slowDelay time.Duration) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{slowDelay: slowDelay, cancelled: make(chan struct{}, 16)}
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/stats":
+			fmt.Fprintf(w, `{"role":"follower","staleness_ms":%d,"observations":100,"weight":100}`, stalenessMs)
+		case "/classify":
+			// Consume the body like a real handler decoding it would —
+			// the server only watches for client disconnects (context
+			// cancellation) once the request body is drained.
+			io.Copy(io.Discard, r.Body)
+			if f.slow.Load() {
+				select {
+				case <-r.Context().Done():
+					f.cancelled <- struct{}{}
+					return
+				case <-time.After(f.slowDelay):
+				}
+			}
+			f.served.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, resultPayload)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// newFakePrimary serves primary-shaped /stats so the group has a
+// fallback and an observation count for budget splits.
+func newFakePrimary(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" {
+			fmt.Fprint(w, `{"role":"primary","observations":100,"weight":100}`)
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// classifyVia sends one classify through a proxy handler and returns
+// the response bytes.
+func classifyVia(t *testing.T, url string) []byte {
+	t.Helper()
+	status, body := postJSON(t, url+"/classify", `{"x":[1.0,2.0,3.0],"budget":32}`)
+	if status != http.StatusOK {
+		t.Fatalf("classify status %d: %s", status, body)
+	}
+	return body
+}
+
+// TestHedgedReadBeatsSlowReplica is the hedging satellite: with one
+// injected-slow replica as the least-stale (first) target, the hedge
+// must fire after the tracked delay (here the HedgeMin floor), go to
+// the next-least-stale replica, win, and cancel the slow loser — and
+// the response must be byte-identical to an unhedged read.
+func TestHedgedReadBeatsSlowReplica(t *testing.T) {
+	slow := newFakeReplica(t, 2, 300*time.Millisecond) // least stale → first target
+	fast := newFakeReplica(t, 8, 0)
+	prim := newFakePrimary(t)
+	group := Group{Primary: prim.URL, Replicas: []string{slow.ts.URL, fast.ts.URL}}
+
+	const hedgeMin = 40 * time.Millisecond
+	p, err := New(Config{Groups: []Group{group}, Hedge: true, HedgeMin: hedgeMin})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	p.ProbeNow()
+	pts := httptest.NewServer(p.Handler())
+	defer pts.Close()
+
+	// Warm the latency tracker past its sample floor with fast reads, so
+	// the hedge delay is the tracked p95 (sub-millisecond here) floored
+	// at HedgeMin.
+	for i := 0; i < trackerMinSamples+2; i++ {
+		classifyVia(t, pts.URL)
+	}
+	if d := p.hedgeDelay(); d != hedgeMin {
+		t.Fatalf("hedge delay %v after warmup, want the %v floor over a sub-ms tracked p95", d, hedgeMin)
+	}
+
+	slow.slow.Store(true)
+	p.groups[0].rr.Store(0) // deterministic head: the least-stale (slow) replica
+	start := time.Now()
+	hedged := classifyVia(t, pts.URL)
+	elapsed := time.Since(start)
+
+	if elapsed < hedgeMin-5*time.Millisecond {
+		t.Fatalf("hedged read returned in %v, before the %v hedge delay — hedge fired early", elapsed, hedgeMin)
+	}
+	if elapsed >= slow.slowDelay {
+		t.Fatalf("hedged read took %v, as slow as the slow replica — hedge did not win", elapsed)
+	}
+	st := p.CurrentStats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("hedges=%d wins=%d, want 1/1", st.Hedges, st.HedgeWins)
+	}
+	select {
+	case <-slow.cancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("slow replica's request context was never cancelled")
+	}
+
+	// Byte-identity: the same read through a hedging-off proxy (slow
+	// replica still slow, so the answer genuinely waits on it) is
+	// byte-identical.
+	p2, err := New(Config{Groups: []Group{group}, Hedge: false})
+	if err != nil {
+		t.Fatalf("proxy2: %v", err)
+	}
+	defer p2.Close()
+	p2.ProbeNow()
+	pts2 := httptest.NewServer(p2.Handler())
+	defer pts2.Close()
+	p2.groups[0].rr.Store(0)
+	unhedged := classifyVia(t, pts2.URL)
+	if !bytes.Equal(hedged, unhedged) {
+		t.Fatalf("hedged response differs from unhedged:\nhedged:   %s\nunhedged: %s", hedged, unhedged)
+	}
+	if p2.CurrentStats().Hedges != 0 {
+		t.Fatal("hedging-off proxy issued a hedge")
+	}
+}
+
+// TestHedgeFallsBackToPrimaryWhenFollowersStale pins the
+// degrade-never-error path: followers beyond the staleness window are
+// skipped and the read lands on the primary instead of erroring.
+func TestHedgeFallsBackToPrimaryWhenFollowersStale(t *testing.T) {
+	stale := newFakeReplica(t, 60_000, 0) // a minute stale
+	primServed := atomic.Int64{}
+	prim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/stats":
+			fmt.Fprint(w, `{"role":"primary","observations":100,"weight":100}`)
+		case "/classify":
+			primServed.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, resultPayload)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer prim.Close()
+
+	p, err := New(Config{Groups: []Group{{Primary: prim.URL, Replicas: []string{stale.ts.URL}}},
+		MaxStaleness: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	p.ProbeNow()
+	pts := httptest.NewServer(p.Handler())
+	defer pts.Close()
+
+	classifyVia(t, pts.URL)
+	if primServed.Load() != 1 {
+		t.Fatalf("primary served %d reads, want 1 (stale follower must be skipped)", primServed.Load())
+	}
+	if stale.served.Load() != 0 {
+		t.Fatal("stale follower served a read")
+	}
+	if p.CurrentStats().PrimaryFallbacks != 1 {
+		t.Fatalf("primary_fallbacks=%d, want 1", p.CurrentStats().PrimaryFallbacks)
+	}
+}
+
+// TestLatencyTrackerP95 pins the tracker: p95 is untrusted below the
+// sample floor and tracks the ring's distribution above it.
+func TestLatencyTrackerP95(t *testing.T) {
+	tr := newLatencyTracker()
+	if _, ok := tr.p95(); ok {
+		t.Fatal("empty tracker trusted its p95")
+	}
+	for i := 0; i < 100; i++ {
+		tr.observe(time.Duration(i+1) * time.Millisecond)
+	}
+	p95, ok := tr.p95()
+	if !ok {
+		t.Fatal("warmed tracker does not trust its p95")
+	}
+	// The cached p95 refreshes every trackerRefreshEvery observations,
+	// so it may lag the newest samples by up to one refresh window.
+	if p95 < 80*time.Millisecond || p95 > 100*time.Millisecond {
+		t.Fatalf("p95 = %v over 1..100ms, want ~95ms (within one refresh window)", p95)
+	}
+}

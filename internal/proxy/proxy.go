@@ -1,0 +1,815 @@
+// Package proxy is the scatter-gather serving tier: a stateless L7
+// proxy in front of one or more primary/replica groups that makes
+// follower fan-out pay without giving up the engine's exactness.
+//
+// Writes (/insert, /cluster) are consistent-hash-routed on the point's
+// shard key to the owning group's primary — the same FNV-64a content
+// hash the engine uses across shards (server.RouteShard), so a proxy
+// over k single-shard groups partitions the stream exactly as a
+// k-shard single process would. A 307 from a backend that turned out
+// to be a follower is followed automatically (method and body
+// preserved), and a failed or fenced primary triggers a synchronous
+// re-probe and bounded retries, so writes fail over to a promoted
+// replica without the client noticing.
+//
+// Reads (/classify, /microclusters, /macroclusters) scatter across
+// healthy followers whose staleness bound (staleness_ms from /stats)
+// is within the configured window, splitting the node-read budget
+// size-proportionally under the in-process contract
+// (server.SplitBudget) and merging exactly: per-class size-weighted
+// log-sum-exp for classify scores, CF-additive micro-cluster union in
+// group order for cluster reads (the offline macro step runs on the
+// union in the proxy). When a group has no fresh follower the read
+// degrades to its primary rather than erroring — the serving tier's
+// degrade-never-error contract extended across processes.
+//
+// Tail latency: every backend gets its own pooled http.Transport,
+// request deadlines propagate, and reads hedge — after a delay tracked
+// at the observed p95, one hedge goes to the next-least-stale replica,
+// the first response wins and the loser's context is cancelled.
+// Replicas are digit-identical, so hedged answers are byte-identical
+// to unhedged ones.
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayestree/internal/clustree"
+	"bayestree/internal/server"
+	"bayestree/internal/stats"
+)
+
+// Group names one primary/replica group: the primary's base URL plus
+// any number of follower base URLs.
+type Group struct {
+	// Primary is the group's write endpoint (and read fallback).
+	Primary string
+	// Replicas are the group's follower read endpoints.
+	Replicas []string
+}
+
+// Config parameterises a Proxy. Zero values mean the documented
+// defaults.
+type Config struct {
+	// Groups are the primary/replica groups fronted; writes hash across
+	// them, reads scatter over all of them. At least one is required.
+	Groups []Group
+	// DefaultBudget is the classify node budget used when a request
+	// sends 0 (default 32, matching the server default).
+	DefaultBudget int
+	// MaxBudget caps per-request budgets (default
+	// server.DefaultMaxBudget).
+	MaxBudget int
+	// ProbeEvery is the health/staleness probe period (default 250ms).
+	ProbeEvery time.Duration
+	// MaxStaleness is the follower freshness window: followers whose
+	// staleness bound exceeds it are skipped for reads (default 5s).
+	MaxStaleness time.Duration
+	// ReadTimeout bounds one proxied read end to end (default 10s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one proxied write including failover retries
+	// (default 10s).
+	WriteTimeout time.Duration
+	// Hedge enables hedged reads. HedgeMin floors the hedge delay
+	// (default 2ms); until the latency tracker has enough samples the
+	// delay is a fixed 25ms.
+	Hedge    bool
+	HedgeMin time.Duration
+	// WriteRetries is how many times a failed write is retried after a
+	// synchronous group re-probe (default 8).
+	WriteRetries int
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 32
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = server.DefaultMaxBudget
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 250 * time.Millisecond
+	}
+	if c.MaxStaleness <= 0 {
+		c.MaxStaleness = 5 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 2 * time.Millisecond
+	}
+	if c.WriteRetries <= 0 {
+		c.WriteRetries = 8
+	}
+	return c
+}
+
+// Proxy is the scatter-gather tier. Create with New, arm the prober
+// with Start, serve Handler, release with Close.
+type Proxy struct {
+	cfg    Config
+	groups []*group
+	start  time.Time
+	lat    *latencyTracker
+
+	draining atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	probeWG  sync.WaitGroup
+
+	reads            atomic.Int64
+	readErrors       atomic.Int64
+	writes           atomic.Int64
+	writeErrors      atomic.Int64
+	writeRetries     atomic.Int64
+	hedges           atomic.Int64
+	hedgeWins        atomic.Int64
+	primaryFallbacks atomic.Int64
+}
+
+// New builds a Proxy over cfg. No probing happens until Start; a fresh
+// proxy routes writes optimistically to each group's configured
+// primary.
+func New(cfg Config) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Groups) == 0 {
+		return nil, errors.New("proxy: at least one group is required")
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		start: time.Now(),
+		lat:   newLatencyTracker(),
+		stop:  make(chan struct{}),
+	}
+	for gi, gc := range cfg.Groups {
+		if strings.TrimSpace(gc.Primary) == "" {
+			return nil, fmt.Errorf("proxy: group %d has no primary URL", gi)
+		}
+		g := &group{index: gi}
+		g.backends = append(g.backends, newBackend(gc.Primary, gi, true))
+		for _, r := range gc.Replicas {
+			if strings.TrimSpace(r) == "" {
+				return nil, fmt.Errorf("proxy: group %d has an empty replica URL", gi)
+			}
+			g.backends = append(g.backends, newBackend(r, gi, false))
+		}
+		p.groups = append(p.groups, g)
+	}
+	return p, nil
+}
+
+// Start runs one synchronous probe sweep and then arms the background
+// prober.
+func (p *Proxy) Start() {
+	p.ProbeNow()
+	p.probeWG.Add(1)
+	go func() {
+		defer p.probeWG.Done()
+		t := time.NewTicker(p.cfg.ProbeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.ProbeNow()
+			}
+		}
+	}()
+}
+
+// Close stops the prober and releases per-backend connection pools.
+func (p *Proxy) Close() error {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.probeWG.Wait()
+	for _, g := range p.groups {
+		for _, b := range g.backends {
+			b.closeIdle()
+		}
+	}
+	return nil
+}
+
+// SetDraining flips readiness: a draining proxy answers /readyz with
+// 503 so load balancers stop sending it new work, while in-flight
+// requests finish.
+func (p *Proxy) SetDraining(v bool) { p.draining.Store(v) }
+
+// Handler returns the proxy's HTTP surface: the serving endpoints it
+// scatters (/classify, /insert, /cluster, /microclusters,
+// /macroclusters) plus /stats, /healthz and /readyz of its own.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", p.handleClassify)
+	mux.HandleFunc("/insert", p.handleWrite)
+	mux.HandleFunc("/cluster", p.handleWrite)
+	mux.HandleFunc("/microclusters", p.handleMicroClusters)
+	mux.HandleFunc("/macroclusters", p.handleMacroClusters)
+	mux.HandleFunc("/stats", p.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", p.handleReadyz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeUnavailable is the 503 + Retry-After shape the backends use for
+// transient conditions, kept identical so clients see one convention
+// through the proxy.
+func writeUnavailable(w http.ResponseWriter, format string, args ...interface{}) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// isStream mirrors the server's NDJSON detection; the proxy refuses
+// streamed bodies with a targeted error instead of mis-parsing them.
+func isStream(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Content-Type"), "ndjson") ||
+		r.URL.Query().Get("stream") == "1"
+}
+
+func (p *Proxy) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if p.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	for _, g := range p.groups {
+		if !g.anyHealthy() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("group %d has no healthy backend", g.index),
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// ---------------------------------------------------------------------
+// Writes: consistent-hash routing with 307-follow and failover
+
+// writeBody is the part of a write body the router needs: the point,
+// for the shard key.
+type writeBody struct {
+	X []float64 `json:"x"`
+}
+
+// errNoPrimary is the terminal routing error when a group has no
+// routable primary even after re-probes.
+var errNoPrimary = errors.New("proxy: group has no routable primary")
+
+func (p *Proxy) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if p.draining.Load() {
+		writeUnavailable(w, "draining")
+		return
+	}
+	if isStream(r) {
+		writeError(w, http.StatusBadRequest,
+			"NDJSON streaming is not proxied; send single JSON requests (the proxy hash-routes each point individually)")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var wb writeBody
+	if err := json.Unmarshal(body, &wb); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(wb.X) == 0 {
+		writeError(w, http.StatusBadRequest, "request has no point x to route on")
+		return
+	}
+	gi := 0
+	if len(p.groups) > 1 {
+		gi = server.RouteShard(wb.X, len(p.groups))
+	}
+	status, resp, err := p.routeWrite(r.Context(), p.groups[gi], r.URL.Path, body)
+	if err != nil {
+		p.writeErrors.Add(1)
+		writeUnavailable(w, "group %d: %v", gi, err)
+		return
+	}
+	p.writes.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(resp)
+}
+
+// routeWrite sends one write to g's primary, re-probing and retrying on
+// failure so a promotion mid-stream is chased instead of surfaced. The
+// first attempt goes optimistically to the configured primary when no
+// probe has succeeded yet — its 307, if it turned out to be a
+// follower, is followed automatically by the backend client.
+func (p *Proxy) routeWrite(ctx context.Context, g *group, path string, body []byte) (int, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.WriteTimeout)
+	defer cancel()
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.WriteRetries; attempt++ {
+		if attempt > 0 {
+			p.writeRetries.Add(1)
+			p.probeGroup(g)
+			select {
+			case <-ctx.Done():
+				return 0, nil, fmt.Errorf("write deadline: %w (last: %v)", ctx.Err(), lastErr)
+			case <-time.After(time.Duration(attempt) * 25 * time.Millisecond):
+			}
+		}
+		b := g.primary()
+		if b == nil {
+			// Optimistic fallback: the configured primary seed. Covers the
+			// cold window before the first probe and relies on 307-follow
+			// if the seed is actually a follower.
+			b = g.backends[0]
+		}
+		status, data, err := b.fetch(ctx, http.MethodPost, path, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch status {
+		case http.StatusServiceUnavailable, http.StatusConflict, http.StatusTemporaryRedirect:
+			// Fenced, recovering, or a redirect loop the client refused to
+			// chase further: re-probe and retry against the new topology.
+			lastErr = fmt.Errorf("backend %s answered %d: %s", b.url, status, firstLine(data))
+			continue
+		default:
+			return status, data, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errNoPrimary
+	}
+	return 0, nil, lastErr
+}
+
+// firstLine compresses an error body for wrapping.
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Reads: scatter, budget split, exact merge
+
+// proxyClassifyRequest is the proxy's classify body — the server's
+// shape; Scores asks the proxy to attach the merged scores just like a
+// backend would.
+type proxyClassifyRequest struct {
+	X      []float64 `json:"x"`
+	Budget int       `json:"budget"`
+	Scores bool      `json:"scores"`
+}
+
+// groupSnapshot is the probe-derived view a read plans against.
+type groupSnapshot struct {
+	g    *group
+	size int
+}
+
+func (p *Proxy) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if p.draining.Load() {
+		writeUnavailable(w, "draining")
+		return
+	}
+	if isStream(r) {
+		writeError(w, http.StatusBadRequest,
+			"NDJSON streaming is not proxied; send single JSON requests")
+		return
+	}
+	var req proxyClassifyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := p.classify(r.Context(), req)
+	if err != nil {
+		p.readErrors.Add(1)
+		var he *httpError
+		if errors.As(err, &he) {
+			writeError(w, he.status, "%s", he.msg)
+			return
+		}
+		writeUnavailable(w, "%v", err)
+		return
+	}
+	p.reads.Add(1)
+	if !req.Scores {
+		res.Scores, res.Weight, res.Labels = nil, 0, nil
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// httpError carries a backend-determined status through the scatter
+// path (a 400 for a bad point must stay a 400).
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// clampBudget mirrors the engine's HTTP budget convention at the proxy:
+// 0 means the default, negative or over-cap means the cap.
+func (p *Proxy) clampBudget(budget int) int {
+	if budget == 0 {
+		budget = p.cfg.DefaultBudget
+	}
+	if budget < 0 || budget > p.cfg.MaxBudget {
+		budget = p.cfg.MaxBudget
+	}
+	return budget
+}
+
+// classify scatters one classification: the requested budget is split
+// across groups in proportion to their observation counts (the
+// in-process shard contract), each group's share is served by a fresh
+// follower (hedged) with literal budgets and scores requested, and the
+// group answers are merged with the same size-weighted log-sum-exp the
+// engine applies across shards.
+func (p *Proxy) classify(ctx context.Context, req proxyClassifyRequest) (server.Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.ReadTimeout)
+	defer cancel()
+	requested := p.clampBudget(req.Budget)
+
+	snaps := make([]groupSnapshot, len(p.groups))
+	sizes := make([]int, len(p.groups))
+	total := 0
+	for i, g := range p.groups {
+		snaps[i] = groupSnapshot{g: g, size: g.observations()}
+		sizes[i] = snaps[i].size
+		total += sizes[i]
+	}
+	if total == 0 {
+		return server.Result{}, &httpError{http.StatusBadRequest, "server: no observations yet"}
+	}
+	budgets := server.SplitBudget(requested, sizes, total)
+
+	answers := make([]*server.Result, len(p.groups))
+	errs := make([]error, len(p.groups))
+	var wg sync.WaitGroup
+	for i := range p.groups {
+		if sizes[i] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(classifyWireRequest{
+				X: req.X, Budget: budgets[i], Scores: true, Literal: true,
+			})
+			rr, err := p.hedgedRead(ctx, snaps[i].g, func(b *backend) readAttempt {
+				return readAttempt{method: http.MethodPost, path: "/classify", body: body}
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if rr.status != http.StatusOK {
+				errs[i] = backendStatusError(rr.status, rr.body)
+				return
+			}
+			var res server.Result
+			if err := json.Unmarshal(rr.body, &res); err != nil {
+				errs[i] = fmt.Errorf("decode backend answer: %w", err)
+				return
+			}
+			answers[i] = &res
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return server.Result{}, fmt.Errorf("group %d: %w", i, err)
+		}
+	}
+	ordered := make([]*server.Result, 0, len(answers))
+	for _, a := range answers {
+		if a != nil {
+			ordered = append(ordered, a)
+		}
+	}
+	return mergeClassify(ordered, requested)
+}
+
+// classifyWireRequest is the backend-facing classify body: literal
+// budgets (a split share of 0 means 0) with scores attached.
+type classifyWireRequest struct {
+	X       []float64 `json:"x"`
+	Budget  int       `json:"budget"`
+	Scores  bool      `json:"scores"`
+	Literal bool      `json:"literal_budget"`
+}
+
+// backendStatusError maps a backend's non-200 answer into an error that
+// preserves client-fault statuses.
+func backendStatusError(status int, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := firstLine(body)
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	if status >= 400 && status < 500 {
+		return &httpError{status, msg}
+	}
+	return fmt.Errorf("backend status %d: %s", status, msg)
+}
+
+// mergeClassify combines per-group answers (in group order) with the
+// engine's size-weighted log-sum-exp. Each answer's Scores are the
+// group's combined log scores and Weight its total mass; because
+// log-sum-exp of one element is exact, a single-shard group's scores
+// are its shard's raw scores and this merge is digit-identical to the
+// in-process merge over the same shards in the same order.
+func mergeClassify(answers []*server.Result, requested int) (server.Result, error) {
+	if len(answers) == 0 {
+		return server.Result{}, &httpError{http.StatusBadRequest, "server: no observations yet"}
+	}
+	labels := answers[0].Labels
+	totalW := 0.0
+	granted, read := 0, 0
+	degraded := false
+	for _, a := range answers {
+		if len(a.Labels) != len(labels) {
+			return server.Result{}, fmt.Errorf("merge: label sets differ across groups (%v vs %v)", labels, a.Labels)
+		}
+		for i := range labels {
+			if a.Labels[i] != labels[i] {
+				return server.Result{}, fmt.Errorf("merge: label sets differ across groups (%v vs %v)", labels, a.Labels)
+			}
+		}
+		totalW += a.Weight
+		granted += a.Granted
+		read += a.NodesRead
+		degraded = degraded || a.Degraded
+	}
+	if totalW <= 0 {
+		return server.Result{}, &httpError{http.StatusBadRequest, "server: no observations yet"}
+	}
+	combined := make([]float64, len(labels))
+	buf := make([]float64, 0, len(answers))
+	best := 0
+	for c := range labels {
+		buf = buf[:0]
+		for _, a := range answers {
+			if sc := a.Scores[c]; !math.IsInf(sc, -1) {
+				buf = append(buf, math.Log(a.Weight/totalW)+sc)
+			}
+		}
+		if len(buf) == 0 {
+			combined[c] = math.Inf(-1)
+		} else {
+			combined[c] = stats.LogSumExp(buf)
+		}
+		if combined[c] > combined[best] {
+			best = c
+		}
+	}
+	return server.Result{
+		Label: labels[best], Requested: requested, Granted: granted,
+		NodesRead: read, Degraded: degraded || granted < requested,
+		Scores: combined, Weight: totalW, Labels: labels,
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+// Cluster reads: CF-additive union
+
+// microClusterWire mirrors the server's micro-cluster JSON shape.
+type microClusterWire struct {
+	Weight float64   `json:"weight"`
+	Mean   []float64 `json:"mean"`
+	Radius float64   `json:"radius"`
+}
+
+// microListWire is the /microclusters response body.
+type microListWire struct {
+	MicroClusters []microClusterWire `json:"micro_clusters"`
+	Count         int                `json:"count"`
+}
+
+// macroClusterWire mirrors the server's macro-cluster JSON shape.
+type macroClusterWire struct {
+	Weight float64   `json:"weight"`
+	Mean   []float64 `json:"mean"`
+	Size   int       `json:"size"`
+}
+
+// gatherMicro fans a /microclusters read across all groups and returns
+// the union set in group order — exact, because every group's
+// micro-clusters summarise a disjoint partition of the stream.
+func (p *Proxy) gatherMicro(ctx context.Context, query string) ([]microClusterWire, error) {
+	lists := make([][]microClusterWire, len(p.groups))
+	errs := make([]error, len(p.groups))
+	var wg sync.WaitGroup
+	for i := range p.groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr, err := p.hedgedRead(ctx, p.groups[i], func(b *backend) readAttempt {
+				return readAttempt{method: http.MethodGet, path: "/microclusters" + query}
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if rr.status != http.StatusOK {
+				errs[i] = backendStatusError(rr.status, rr.body)
+				return
+			}
+			var ml microListWire
+			if err := json.Unmarshal(rr.body, &ml); err != nil {
+				errs[i] = fmt.Errorf("decode backend answer: %w", err)
+				return
+			}
+			lists[i] = ml.MicroClusters
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("group %d: %w", i, err)
+		}
+	}
+	var union []microClusterWire
+	for _, l := range lists {
+		union = append(union, l...)
+	}
+	return union, nil
+}
+
+func (p *Proxy) handleMicroClusters(w http.ResponseWriter, r *http.Request) {
+	if p.draining.Load() {
+		writeUnavailable(w, "draining")
+		return
+	}
+	minw := r.URL.Query().Get("minw")
+	query := ""
+	if minw != "" {
+		query = "?minw=" + minw
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.ReadTimeout)
+	defer cancel()
+	union, err := p.gatherMicro(ctx, query)
+	if err != nil {
+		p.readErrors.Add(1)
+		p.writeReadError(w, err)
+		return
+	}
+	p.reads.Add(1)
+	if union == nil {
+		union = []microClusterWire{}
+	}
+	// The same map shape the backend uses, so a proxied response is
+	// byte-identical to a single-process one over the same data.
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"micro_clusters": union, "count": len(union),
+	})
+}
+
+func (p *Proxy) handleMacroClusters(w http.ResponseWriter, r *http.Request) {
+	if p.draining.Load() {
+		writeUnavailable(w, "draining")
+		return
+	}
+	eps, err1 := queryFloat(r, "eps", 0.1)
+	minw, err2 := queryFloat(r, "minw", 1)
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "bad eps/minw: %v %v", err1, err2)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.ReadTimeout)
+	defer cancel()
+	// The offline macro step runs over the union micro-cluster set, so
+	// gather every group's full set (minw=0) and cluster locally —
+	// exactly what a single process does over its shard union.
+	union, err := p.gatherMicro(ctx, "?minw=0")
+	if err != nil {
+		p.readErrors.Add(1)
+		p.writeReadError(w, err)
+		return
+	}
+	p.reads.Add(1)
+	mcs := make([]clustree.MicroCluster, len(union))
+	for i, m := range union {
+		mcs[i] = clustree.MicroCluster{Weight: m.Weight, Mean: m.Mean, Radius: m.Radius}
+	}
+	macros, noise := clustree.MacroClusters(mcs, clustree.MacroOptions{Eps: eps, MinWeight: minw})
+	out := make([]macroClusterWire, len(macros))
+	for i, m := range macros {
+		out[i] = macroClusterWire{Weight: m.Weight, Mean: m.Mean, Size: len(m.Members)}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"macro_clusters": out,
+		"noise":          len(noise),
+		"eps":            eps,
+		"min_weight":     minw,
+	})
+}
+
+// writeReadError renders a scatter-read failure, preserving
+// client-fault statuses.
+func (p *Proxy) writeReadError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeError(w, he.status, "%s", he.msg)
+		return
+	}
+	writeUnavailable(w, "%v", err)
+}
+
+// queryFloat parses a float query parameter, using def when absent.
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return 0, fmt.Errorf("bad %s=%q", name, s)
+	}
+	return v, nil
+}
+
+// ---------------------------------------------------------------------
+// Read target selection
+
+// readAttempt is one backend exchange a hedged read issues.
+type readAttempt struct {
+	method string
+	path   string
+	body   []byte
+}
+
+// fetch runs one fully-read HTTP exchange against the backend's pooled
+// client.
+func (b *backend) fetch(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.url+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		b.errors.Add(1)
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		b.errors.Add(1)
+		return 0, nil, err
+	}
+	b.requests.Add(1)
+	return resp.StatusCode, data, nil
+}

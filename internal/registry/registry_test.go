@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -252,7 +253,7 @@ func TestEvictReloadDigitIdentical(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("classify diverged: %+v vs %+v", a, b)
 	}
 }

@@ -191,3 +191,100 @@ func drainAll(ch chan replFrame) chan replFrame {
 		}
 	}
 }
+
+// TestReplicationFanOutEightFollowers is the fan-out stress property:
+// eight concurrent followers tail one primary under the race detector
+// and all converge digit-identical to an uninterrupted reference run —
+// while a ninth subscriber that never drains (a wedged link, emulated
+// by a raw hub subscriber with a tiny buffer) is overflow-cut alone,
+// without stalling the primary or any of the eight. The cut and the
+// per-subscriber buffer depths must be visible in /stats
+// (repl_overflow_cuts, repl_sub_buffered).
+func TestReplicationFanOutEightFollowers(t *testing.T) {
+	const n, nf = 320, 8
+	xs, ys := classPoints(n)
+	prim := newDurableClass(t, t.TempDir(), 2)
+	ts := httptest.NewServer(prim.Handler())
+	defer killServer(ts)
+
+	folls := make([]*Follower[*Server], nf)
+	tails := make([]*replica.Tailer, nf)
+	for i := range folls {
+		f, err := NewFollowerServer(DurabilityOptions{Dir: t.TempDir()}, Config{}, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		folls[i] = f
+		tails[i] = replica.New(f, tailOpts(ts.URL, replica.WorkloadClassify, f.Epoch))
+		tails[i].Start()
+	}
+	for i := range folls {
+		f := folls[i]
+		waitFor(t, 10*time.Second, "follower to attach", func() bool {
+			return f.Current() != nil
+		})
+	}
+
+	// The wedged ninth subscriber: attached straight to the hub with a
+	// buffer far below the stream length, drained by nobody.
+	slow := &replSub{ch: make(chan replFrame, 4)}
+	prim.dur.hub.attach(slow)
+
+	for i := 0; i < n; i++ {
+		if err := prim.Insert(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range folls {
+		f := folls[i]
+		waitFor(t, 15*time.Second, "all eight followers to apply the full stream", func() bool {
+			return appliedLSN(f) == uint64(n)
+		})
+	}
+
+	// The wedged subscriber was cut alone, visibly.
+	if !slow.dead {
+		t.Fatal("wedged subscriber not cut after overflow")
+	}
+	st := prim.Stats()
+	if st.ReplOverflowCuts != 1 {
+		t.Fatalf("repl_overflow_cuts = %d, want 1", st.ReplOverflowCuts)
+	}
+	if st.ReplFollowers != nf {
+		t.Fatalf("primary sees %d followers after the cut, want %d", st.ReplFollowers, nf)
+	}
+	if len(st.ReplSubBuffered) != nf {
+		t.Fatalf("repl_sub_buffered has %d entries, want %d", len(st.ReplSubBuffered), nf)
+	}
+	if st.ReplShippedLSN != uint64(n) {
+		t.Fatalf("shipped LSN %d, want %d — the cut must not stall shipping", st.ReplShippedLSN, n)
+	}
+
+	// Digit-identity across all eight.
+	ref, err := NewEmpty(2, core.DefaultConfig(3), []int{0, 1, 2}, core.MultiOptions{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := ref.Insert(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snapshotBytes(t, ref)
+	for i, f := range folls {
+		if got := snapshotBytes(t, f.Current()); !bytes.Equal(got, want) {
+			t.Fatalf("follower %d differs from the uninterrupted run (%d vs %d bytes)",
+				i, len(got), len(want))
+		}
+	}
+
+	for i := range tails {
+		tails[i].Stop()
+	}
+	for _, f := range folls {
+		if err := f.Persist(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prim.CloseDurability()
+}

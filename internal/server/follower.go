@@ -287,6 +287,13 @@ func (f *Follower[S]) Handler() http.Handler {
 			fmt.Fprintln(w, "ok")
 			return
 		}
+		if r.URL.Path == "/readyz" {
+			// The uniform not-ready shape (plain text, Retry-After) that
+			// primaries use during recovery, so probers back off the same
+			// way whatever the reason.
+			writeNotReady(w, "bootstrapping")
+			return
+		}
 		writeUnavailable(w, "replica: awaiting first bootstrap from primary %s", f.primaryURL)
 	})
 }

@@ -39,6 +39,15 @@ const streamWindow = 64
 type classifyRequest struct {
 	X      []float64 `json:"x"`
 	Budget int       `json:"budget"`
+	// Scores asks for the merged per-class log scores, their label order
+	// and the total weight in the response — the merge surface a
+	// scatter-gather tier combines across groups.
+	Scores bool `json:"scores"`
+	// Literal makes Budget literal: 0 means zero refinement steps (the
+	// coarsest answer) instead of the server default. The proxy sets it
+	// so size-proportional splits that legitimately assign a group 0
+	// nodes keep meaning 0.
+	Literal bool `json:"literal_budget"`
 }
 
 // insertRequest is the JSON body of an insert request.
@@ -90,16 +99,24 @@ func writeUnavailable(w http.ResponseWriter, format string, args ...interface{})
 	writeError(w, http.StatusServiceUnavailable, format, args...)
 }
 
+// writeNotReady is the uniform not-ready /readyz answer: plain-text 503
+// with Retry-After, the same shape whatever the reason (recovering,
+// draining, a follower awaiting bootstrap) — so probers and load
+// balancers back off uniformly.
+func writeNotReady(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, reason, http.StatusServiceUnavailable)
+}
+
 // writeReady is the shared /readyz body: 503 + Retry-After while the
 // process cannot serve (recovering or draining), 200 otherwise.
 func writeReady(w http.ResponseWriter, recovering, draining bool) {
 	if recovering || draining {
-		w.Header().Set("Retry-After", "1")
 		reason := "draining"
 		if recovering {
 			reason = "recovering"
 		}
-		http.Error(w, reason, http.StatusServiceUnavailable)
+		writeNotReady(w, reason)
 		return
 	}
 	fmt.Fprintln(w, "ok")
@@ -111,6 +128,27 @@ func writeReady(w http.ResponseWriter, recovering, draining bool) {
 func redirectToPrimary(w http.ResponseWriter, r *http.Request, primary string) {
 	w.Header().Set("Location", primary+r.URL.Path)
 	writeError(w, http.StatusTemporaryRedirect, "read-only follower: writes go to the primary at %s", primary)
+}
+
+// classifyWire resolves one HTTP classify request: budget semantics per
+// the Literal flag (literal budgets take 0 at face value, the plain
+// form maps 0 to the server default), with the merge surface (scores,
+// weight, label order) attached only when the request asked for it.
+func (s *Server) classifyWire(req classifyRequest) (Result, error) {
+	budget := s.clampBudget(req.Budget)
+	if req.Literal {
+		budget = s.capBudget(req.Budget)
+	}
+	res, err := s.classifyResolved(req.X, budget)
+	if err != nil {
+		return res, err
+	}
+	if req.Scores {
+		res.Labels = s.Labels()
+	} else {
+		res.Scores, res.Weight = nil, 0
+	}
+	return res, nil
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -131,7 +169,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	res, err := s.Classify(req.X, req.Budget)
+	res, err := s.classifyWire(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -225,7 +263,7 @@ func (s *Server) streamClassify(w http.ResponseWriter, r *http.Request) {
 				responses[i] = lineResponse{Error: fmt.Sprintf("bad request line: %v", err)}
 				return
 			}
-			res, err := s.Classify(req.X, req.Budget)
+			res, err := s.classifyWire(req)
 			if err != nil {
 				responses[i] = lineResponse{Error: err.Error()}
 				return

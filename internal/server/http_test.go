@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -285,5 +286,90 @@ func TestHTTPDraining(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("classify %d during drain, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPStatsReplicationHubWireNames pins the replication-hub
+// back-pressure wire names: a durable primary with one attached
+// subscriber must report per-subscriber buffer occupancy and the
+// lifetime overflow-cut count under stable JSON keys — the surface the
+// scatter-gather proxy's prober (and operators) watch.
+func TestHTTPStatsReplicationHubWireNames(t *testing.T) {
+	s := newDurableClass(t, t.TempDir(), 2)
+	defer s.CloseDurability()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sub := &replSub{ch: make(chan replFrame, 8)}
+	s.dur.hub.attach(sub)
+	defer s.dur.hub.detach(sub)
+	if err := s.Insert([]float64{3.0, -3.0, 0.2}, 1); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	for _, key := range []string{"repl_sub_buffered", "repl_overflow_cuts"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("stats JSON missing wire name %q", key)
+		}
+	}
+	depths, _ := raw["repl_sub_buffered"].([]interface{})
+	if len(depths) != 1 {
+		t.Fatalf("repl_sub_buffered = %v, want one entry for the attached subscriber", raw["repl_sub_buffered"])
+	}
+	if d, _ := depths[0].(float64); d != 1 {
+		t.Errorf("repl_sub_buffered[0] = %v after one undrained insert, want 1", depths[0])
+	}
+	if cuts, ok := raw["repl_overflow_cuts"].(float64); !ok || cuts != 0 {
+		t.Errorf("repl_overflow_cuts = %v, want 0", raw["repl_overflow_cuts"])
+	}
+}
+
+// TestHTTPFollowerReadyzBootstrapping pins the follower's pre-bootstrap
+// readiness shape: /readyz answers the uniform plain-text 503 with
+// Retry-After (as primaries do during recovery), so probers back off
+// the same way whatever the reason.
+func TestHTTPFollowerReadyzBootstrapping(t *testing.T) {
+	f, err := NewFollowerServer(DurabilityOptions{Dir: t.TempDir()}, Config{}, "http://unreachable:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-bootstrap readyz %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("pre-bootstrap readyz has no Retry-After")
+	}
+	if ct := resp.Header.Get("Content-Type"); strings.Contains(ct, "json") {
+		t.Fatalf("pre-bootstrap readyz Content-Type %q, want the plain-text shape primaries use", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if got := strings.TrimSpace(string(body)); got != "bootstrapping" {
+		t.Fatalf("pre-bootstrap readyz body %q, want \"bootstrapping\"", got)
+	}
+	// Liveness stays up while readiness is down.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pre-bootstrap healthz %d, want 200", resp2.StatusCode)
 	}
 }

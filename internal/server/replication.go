@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,9 @@ type replHub struct {
 	mu      sync.Mutex
 	shipped uint64
 	subs    map[*replSub]struct{}
+	// cuts counts subscribers dropped for overflowing their buffer —
+	// with bufferDepths, the back-pressure surface /stats exposes.
+	cuts int64
 }
 
 func newReplHub() *replHub { return &replHub{subs: make(map[*replSub]struct{})} }
@@ -88,6 +92,7 @@ func (h *replHub) publish(shard int, payload []byte) {
 			sub.dead = true
 			close(sub.ch)
 			delete(h.subs, sub)
+			h.cuts++
 		}
 	}
 }
@@ -124,6 +129,27 @@ func (h *replHub) followerCount() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return int64(len(h.subs))
+}
+
+// bufferDepths snapshots each attached subscriber's buffered frame
+// count, sorted ascending (subscriber iteration order is random). A
+// depth climbing toward replSubBuffer is a follower about to be cut.
+func (h *replHub) bufferDepths() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, 0, len(h.subs))
+	for sub := range h.subs {
+		out = append(out, len(sub.ch))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// overflowCuts reports the lifetime overflow-cut count.
+func (h *replHub) overflowCuts() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cuts
 }
 
 // replState is the engine's replication role and staleness accounting.
@@ -274,6 +300,8 @@ func (e *engine[M]) replStats(st *Stats) {
 	if e.dur != nil && e.dur.hub != nil {
 		st.ReplFollowers = e.dur.hub.followerCount()
 		st.ReplShippedLSN = e.dur.hub.shippedLSN()
+		st.ReplSubBuffered = e.dur.hub.bufferDepths()
+		st.ReplOverflowCuts = e.dur.hub.overflowCuts()
 	}
 }
 

@@ -31,6 +31,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -203,6 +204,52 @@ type Result struct {
 	// than asked for. This is the per-response load signal a client (or
 	// the load harness) reads without touching /stats.
 	Degraded bool `json:"degraded"`
+	// Scores, Weight and Labels are the merge surface a scatter-gather
+	// tier needs: Scores carries the combined per-class log scores
+	// aligned with Labels, and Weight the total effective mass they were
+	// mixed under. A size-weighted log-sum-exp over per-group (Scores,
+	// Weight) pairs reproduces the in-process shard merge digit for
+	// digit, because log-sum-exp of a single element is exact. Over HTTP
+	// they are attached only when the request asks (`"scores":true`), so
+	// existing wire responses are unchanged.
+	Scores ScoreList `json:"scores,omitempty"`
+	Weight float64   `json:"weight,omitempty"`
+	Labels []int     `json:"labels,omitempty"`
+}
+
+// ScoreList is a []float64 whose JSON form maps non-finite values to
+// null: class log scores are legitimately -Inf for classes a partition
+// holds no mass for, and JSON numbers cannot carry infinities.
+type ScoreList []float64
+
+// MarshalJSON implements json.Marshaler, encoding non-finite scores as
+// null.
+func (s ScoreList) MarshalJSON() ([]byte, error) {
+	out := make([]*float64, len(s))
+	for i := range s {
+		if v := s[i]; !math.IsInf(v, 0) && !math.IsNaN(v) {
+			out[i] = &s[i]
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, decoding null back to
+// -Inf (the only non-finite value the score merge produces).
+func (s *ScoreList) UnmarshalJSON(b []byte) error {
+	var raw []*float64
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	*s = make(ScoreList, len(raw))
+	for i, p := range raw {
+		if p == nil {
+			(*s)[i] = math.Inf(-1)
+		} else {
+			(*s)[i] = *p
+		}
+	}
+	return nil
 }
 
 // Classify serves one anytime classification: the requested budget is
@@ -285,6 +332,7 @@ func (s *Server) classifyResolved(x []float64, requested int) (Result, error) {
 	return Result{
 		Label: s.labels[best], Requested: requested, Granted: granted,
 		NodesRead: read, Degraded: granted < requested,
+		Scores: combined, Weight: totalW,
 	}, nil
 }
 
@@ -533,6 +581,21 @@ func shardIndex(x []float64, shards int) int {
 	return int(h.Sum64() % uint64(shards))
 }
 
+// RouteShard is shardIndex exported for the scatter-gather proxy: it
+// consistent-hash-routes an observation across n partitions with the
+// same function the engine uses across shards, so a proxy over n
+// single-shard groups partitions the stream exactly as an n-shard
+// single process would.
+func RouteShard(x []float64, n int) int { return shardIndex(x, n) }
+
+// SplitBudget is splitBudget exported for the scatter-gather proxy: it
+// divides a granted node-read budget across partitions in proportion to
+// their sizes under exactly the in-process contract (floor of the
+// proportional share, remainder to the earliest non-empty partitions).
+func SplitBudget(granted int, sizes []int, total int) []int {
+	return splitBudget(granted, sizes, total)
+}
+
 // Stats is a point-in-time summary of a served workload, served by
 // /stats.
 type Stats struct {
@@ -598,9 +661,16 @@ type Stats struct {
 	FencedBy       uint64 `json:"fenced_by,omitempty"`
 	ReplFollowers  int64  `json:"repl_followers"`
 	ReplShippedLSN uint64 `json:"repl_shipped_lsn"`
-	AppliedLSN     uint64 `json:"applied_lsn"`
-	StalenessMs    int64  `json:"staleness_ms"`
-	ReplConnected  bool   `json:"repl_connected"`
+	// ReplSubBuffered is the per-attached-follower hub buffer occupancy
+	// in frames (sorted ascending; capacity replSubBuffer each), and
+	// ReplOverflowCuts the lifetime count of subscribers cut for
+	// overflowing theirs — the back-pressure observables a proxy prober
+	// or operator watches to see a slow follower before it is dropped.
+	ReplSubBuffered  []int  `json:"repl_sub_buffered,omitempty"`
+	ReplOverflowCuts int64  `json:"repl_overflow_cuts"`
+	AppliedLSN       uint64 `json:"applied_lsn"`
+	StalenessMs      int64  `json:"staleness_ms"`
+	ReplConnected    bool   `json:"repl_connected"`
 }
 
 // Stats returns a point-in-time summary of shard sizes and the
